@@ -1,0 +1,112 @@
+// Shared workload builders and printing helpers for the paper-reproduction
+// benches. Each bench binary prints the corresponding paper table/figure's
+// rows; EXPERIMENTS.md records paper-vs-measured values side by side.
+//
+// Scale note: the paper's datasets are Gbp-scale on up to 15,360 Cray cores;
+// here genomes are Mbp-scale and ranks are threads with a LogGP cost model
+// (see DESIGN.md "Substitutions"). Improvement *factors* and scaling *shapes*
+// are the reproduced quantities, not absolute seconds.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "seq/fasta.hpp"
+#include "seq/genome_sim.hpp"
+#include "seq/read_sim.hpp"
+
+namespace bench {
+
+struct Workload {
+  std::string name;
+  std::vector<mera::seq::SeqRecord> contigs;
+  std::vector<mera::seq::SeqRecord> reads;
+  std::size_t genome_len = 0;
+};
+
+struct WorkloadSpec {
+  std::string name;
+  std::size_t genome_len = 2'000'000;
+  double repeat_fraction = 0.03;   ///< human-like low repeat content
+  double depth = 4.0;
+  std::size_t read_len = 101;
+  double error_rate = 0.004;
+  double junk_fraction = 0.01;
+  bool grouped = true;
+  std::uint64_t seed = 1;
+};
+
+inline Workload make_workload(const WorkloadSpec& spec) {
+  Workload w;
+  w.name = spec.name;
+  w.genome_len = spec.genome_len;
+  mera::seq::GenomeParams gp;
+  gp.length = spec.genome_len;
+  gp.repeat_fraction = spec.repeat_fraction;
+  gp.rng_seed = spec.seed;
+  const std::string genome = simulate_genome(gp);
+  mera::seq::ContigParams cp;
+  cp.min_len = 800;
+  cp.max_len = 4000;
+  cp.rng_seed = spec.seed + 1;
+  w.contigs = chop_into_contigs(genome, cp);
+  mera::seq::ReadSimParams rp;
+  rp.read_len = spec.read_len;
+  rp.depth = spec.depth;
+  rp.error_rate = spec.error_rate;
+  rp.junk_fraction = spec.junk_fraction;
+  rp.grouped = spec.grouped;
+  rp.rng_seed = spec.seed + 2;
+  w.reads = simulate_reads(genome, rp);
+  return w;
+}
+
+/// Scaled-down "human" dataset: low repeat content, 101 bp reads.
+inline WorkloadSpec human_like(std::size_t genome_len = 2'000'000,
+                               double depth = 4.0) {
+  WorkloadSpec s;
+  s.name = "human-like";
+  s.genome_len = genome_len;
+  s.repeat_fraction = 0.03;
+  s.depth = depth;
+  s.read_len = 101;
+  s.seed = 101;
+  return s;
+}
+
+/// Scaled-down "wheat" dataset: bigger, repeat-rich, longer reads — the
+/// grand-challenge genome of the paper.
+inline WorkloadSpec wheat_like(std::size_t genome_len = 4'000'000,
+                               double depth = 4.0) {
+  WorkloadSpec s;
+  s.name = "wheat-like";
+  s.genome_len = genome_len;
+  s.repeat_fraction = 0.25;
+  s.depth = depth;
+  s.read_len = 150;
+  s.seed = 202;
+  return s;
+}
+
+/// E. coli-scale dataset for the single-node experiment (Figure 11).
+inline WorkloadSpec ecoli_like(double depth = 6.0) {
+  WorkloadSpec s;
+  s.name = "ecoli-like";
+  s.genome_len = 1'000'000;  // scaled from 4.64 Mbp
+  s.repeat_fraction = 0.01;
+  s.depth = depth;
+  s.read_len = 76;
+  s.seed = 303;
+  return s;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("(simulated-model seconds; compare factors/shape, not absolutes)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench

@@ -1,0 +1,136 @@
+// DHT microbenches (google-benchmark): distributed seed-index construction
+// across modes and aggregation buffer sizes S (the Section III-A tuning
+// parameter; the paper uses S = 1000), plus lookup throughput.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "dht/seed_index.hpp"
+#include "pgas/runtime.hpp"
+#include "seq/kmer.hpp"
+
+namespace {
+
+using namespace mera;
+using dht::SeedHit;
+using dht::SeedIndex;
+
+std::vector<std::string> make_targets(int n, std::size_t len,
+                                      std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::string> v;
+  for (int i = 0; i < n; ++i) {
+    std::string s(len, 'A');
+    for (auto& c : s) c = "ACGT"[rng() & 3u];
+    v.push_back(std::move(s));
+  }
+  return v;
+}
+
+void build(pgas::Runtime& rt, SeedIndex& index,
+           const std::vector<std::string>& seqs, int k) {
+  rt.run([&](pgas::Rank& r) {
+    const std::size_t n = seqs.size();
+    const auto me = static_cast<std::size_t>(r.id());
+    const auto p = static_cast<std::size_t>(r.nranks());
+    const std::size_t lo = n * me / p, hi = n * (me + 1) / p;
+    for (std::size_t s = lo; s < hi; ++s)
+      seq::for_each_seed(std::string_view(seqs[s]), k,
+                         [&](std::size_t, const seq::Kmer& m) {
+                           index.count_seed(r, m);
+                         });
+    index.finish_count(r);
+    for (std::size_t s = lo; s < hi; ++s)
+      seq::for_each_seed(std::string_view(seqs[s]), k,
+                         [&](std::size_t off, const seq::Kmer& m) {
+                           index.insert(
+                               r, m,
+                               SeedHit{static_cast<std::uint32_t>(s),
+                                       static_cast<std::uint32_t>(s),
+                                       static_cast<std::uint32_t>(off)});
+                         });
+    index.finish_insert(r);
+  });
+}
+
+/// Construction wall+model cost across buffer sizes S (and the naive mode as
+/// S-row "naive"): prints the modeled build time as a counter.
+void BM_IndexConstruction(benchmark::State& state) {
+  const bool aggregating = state.range(0) >= 0;
+  const std::size_t S =
+      aggregating ? static_cast<std::size_t>(state.range(0)) : 1;
+  const auto targets = make_targets(32, 4000, 3);
+  const int k = 31;
+  double modeled = 0;
+  std::uint64_t msgs = 0;
+  for (auto _ : state) {
+    pgas::Runtime rt(pgas::Topology(8, 4));
+    SeedIndex index(rt.topo(), {k, aggregating, S});
+    build(rt, index, targets, k);
+    modeled = rt.report().total_time_s();
+    msgs = rt.report().total_traffic().remote_msgs();
+    benchmark::DoNotOptimize(index.total_entries());
+  }
+  state.counters["modeled_s"] = modeled;
+  state.counters["remote_msgs"] = static_cast<double>(msgs);
+}
+BENCHMARK(BM_IndexConstruction)
+    ->Arg(-1)  // naive fine-grained mode
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SeedLookup(benchmark::State& state) {
+  const auto targets = make_targets(16, 4000, 5);
+  const int k = 31;
+  pgas::Runtime rt(pgas::Topology(4, 2));
+  SeedIndex index(rt.topo(), {k, true, 1000});
+  build(rt, index, targets, k);
+
+  // Pre-extract query seeds.
+  std::vector<seq::Kmer> queries;
+  seq::for_each_seed(std::string_view(targets[3]), k,
+                     [&](std::size_t, const seq::Kmer& m) {
+                       queries.push_back(m);
+                     });
+  std::size_t qi = 0;
+  std::vector<SeedHit> hits;
+  for (auto _ : state) {
+    rt.run([&](pgas::Rank& r) {
+      if (r.id() != 0) return;
+      for (int i = 0; i < 1000; ++i) {
+        hits.clear();
+        benchmark::DoNotOptimize(
+            index.lookup(r, queries[qi], 16, hits));
+        qi = (qi + 1) % queries.size();
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_SeedLookup)->Unit(benchmark::kMillisecond);
+
+void BM_KmerRollingExtraction(benchmark::State& state) {
+  const auto targets = make_targets(1, 100'000, 7);
+  const int k = 51;
+  for (auto _ : state) {
+    std::size_t n = 0;
+    seq::for_each_seed(std::string_view(targets[0]), k,
+                       [&](std::size_t, const seq::Kmer& m) {
+                         benchmark::DoNotOptimize(m);
+                         ++n;
+                       });
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100'000);
+}
+BENCHMARK(BM_KmerRollingExtraction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

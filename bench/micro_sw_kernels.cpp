@@ -1,0 +1,113 @@
+// Kernel microbenches (google-benchmark): reference full-DP Smith-Waterman
+// vs banded vs striped SIMD (Section V-B — the paper adopts SSW because SW
+// dominates the aligning phase's computation).
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <string>
+
+#include "align/banded_sw.hpp"
+#include "align/smith_waterman.hpp"
+#include "align/striped_sw.hpp"
+
+namespace {
+
+using namespace mera::align;
+
+std::string random_dna(std::mt19937_64& rng, std::size_t len) {
+  std::string s(len, 'A');
+  for (auto& c : s) c = "ACGT"[rng() & 3u];
+  return s;
+}
+
+struct Pair {
+  std::vector<std::uint8_t> q, t;
+};
+
+Pair make_pair(std::size_t qlen, std::size_t tlen) {
+  std::mt19937_64 rng(7);
+  const std::string g = random_dna(rng, tlen);
+  std::string q = g.substr(tlen / 4, qlen);
+  for (std::size_t i = 0; i < qlen / 50 + 1; ++i)
+    q[rng() % qlen] = "ACGT"[rng() & 3u];
+  return {dna_codes(q), dna_codes(g)};
+}
+
+void BM_ReferenceSW(benchmark::State& state) {
+  const auto p = make_pair(static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        smith_waterman(std::span<const std::uint8_t>(p.q),
+                       std::span<const std::uint8_t>(p.t), Scoring{}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * state.range(1));
+}
+BENCHMARK(BM_ReferenceSW)->Args({101, 300})->Args({101, 1000})->Args({250, 1000});
+
+void BM_ScoreOnlySW(benchmark::State& state) {
+  const auto p = make_pair(static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sw_score_reference(std::span<const std::uint8_t>(p.q),
+                           std::span<const std::uint8_t>(p.t), Scoring{}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * state.range(1));
+}
+BENCHMARK(BM_ScoreOnlySW)->Args({101, 300})->Args({101, 1000})->Args({250, 1000});
+
+void BM_BandedSW(benchmark::State& state) {
+  const auto p = make_pair(static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(1)));
+  const auto diag = static_cast<std::ptrdiff_t>(state.range(1) / 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(banded_smith_waterman(
+        std::span<const std::uint8_t>(p.q), std::span<const std::uint8_t>(p.t),
+        diag, 16, Scoring{}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 33);
+}
+BENCHMARK(BM_BandedSW)->Args({101, 300})->Args({101, 1000})->Args({250, 1000});
+
+void BM_StripedSW(benchmark::State& state) {
+  const auto p = make_pair(static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(1)));
+  const StripedSmithWaterman ssw(std::span<const std::uint8_t>(p.q), Scoring{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssw.align(std::span<const std::uint8_t>(p.t)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * state.range(1));
+}
+BENCHMARK(BM_StripedSW)->Args({101, 300})->Args({101, 1000})->Args({250, 1000});
+
+void BM_StripedProfileBuild(benchmark::State& state) {
+  std::mt19937_64 rng(9);
+  const auto q = dna_codes(random_dna(rng, static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    const StripedSmithWaterman ssw(std::span<const std::uint8_t>(q), Scoring{});
+    benchmark::DoNotOptimize(&ssw);
+  }
+}
+BENCHMARK(BM_StripedProfileBuild)->Arg(101)->Arg(250);
+
+void BM_ExactMemcmpPath(benchmark::State& state) {
+  // The Lemma-1 fast path the paper substitutes for SW on exact reads.
+  std::mt19937_64 rng(11);
+  const std::string g = random_dna(rng, 4096);
+  const mera::seq::PackedSeq target(g);
+  const mera::seq::PackedSeq query(g.substr(1000, 101));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mera::seq::PackedSeq::equal_range(query, 0, target, 1000, 101));
+  }
+}
+BENCHMARK(BM_ExactMemcmpPath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

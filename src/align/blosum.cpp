@@ -1,0 +1,78 @@
+#include "align/blosum.hpp"
+
+#include "align/sw_engine.hpp"
+#include "seq/protein.hpp"
+
+namespace mera::align {
+
+const SubstMatrix& blosum62() noexcept {
+  // NCBI BLOSUM62, rows/cols in "ARNDCQEGHILKMFPSTWYVBZX*" order.
+  static const SubstMatrix m = {{
+      //         A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V   B   Z   X   *
+      /* A */ {{ 4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0, -2, -1,  0, -4}},
+      /* R */ {{-1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3, -1,  0, -1, -4}},
+      /* N */ {{-2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3,  3,  0, -1, -4}},
+      /* D */ {{-2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3,  4,  1, -1, -4}},
+      /* C */ {{ 0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1, -3, -3, -2, -4}},
+      /* Q */ {{-1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2,  0,  3, -1, -4}},
+      /* E */ {{-1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2,  1,  4, -1, -4}},
+      /* G */ {{ 0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3, -1, -2, -1, -4}},
+      /* H */ {{-2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3,  0,  0, -1, -4}},
+      /* I */ {{-1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3, -3, -3, -1, -4}},
+      /* L */ {{-1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1, -4, -3, -1, -4}},
+      /* K */ {{-1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2,  0,  1, -1, -4}},
+      /* M */ {{-1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1, -3, -1, -1, -4}},
+      /* F */ {{-2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1, -3, -3, -1, -4}},
+      /* P */ {{-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2, -2, -1, -2, -4}},
+      /* S */ {{ 1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2,  0,  0,  0, -4}},
+      /* T */ {{ 0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0, -1, -1,  0, -4}},
+      /* W */ {{-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3, -4, -3, -2, -4}},
+      /* Y */ {{-2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1, -3, -2, -1, -4}},
+      /* V */ {{ 0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4, -3, -2, -1, -4}},
+      /* B */ {{-2, -1,  3,  4, -3,  0,  1, -1,  0, -3, -4,  0, -3, -3, -2,  0, -1, -4, -3, -3,  4,  1, -1, -4}},
+      /* Z */ {{-1,  0,  0,  1, -3,  3,  4, -2,  0, -3, -3,  1, -1, -3, -1,  0, -1, -3, -2, -2,  1,  4, -1, -4}},
+      /* X */ {{ 0, -1, -1, -1, -2, -1, -1, -1, -1, -1, -1, -1, -1, -1, -2,  0,  0, -2, -1, -1, -1, -1, -1, -4}},
+      /* * */ {{-4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4,  1}},
+  }};
+  return m;
+}
+
+namespace {
+
+LocalAlignment from_engine(detail::SwOut&& o) {
+  LocalAlignment a;
+  a.score = o.score;
+  a.q_begin = o.q_begin;
+  a.q_end = o.q_end;
+  a.t_begin = o.t_begin;
+  a.t_end = o.t_end;
+  a.cigar = std::move(o.cigar);
+  a.mismatches = o.mismatches;
+  a.gap_columns = o.gap_columns;
+  return a;
+}
+
+}  // namespace
+
+LocalAlignment smith_waterman_matrix(std::span<const std::uint8_t> query,
+                                     std::span<const std::uint8_t> target,
+                                     const MatrixScoring& sc) {
+  const SubstMatrix& m = sc.mat();
+  return from_engine(detail::sw_align(
+      query, target,
+      [&m](std::uint8_t a, std::uint8_t b) {
+        return m[a][b];
+      },
+      sc.gap_open, sc.gap_extend));
+}
+
+LocalAlignment smith_waterman_protein(std::string_view query,
+                                      std::string_view target,
+                                      const MatrixScoring& sc) {
+  const auto q = seq::protein_codes(query);
+  const auto t = seq::protein_codes(target);
+  return smith_waterman_matrix(std::span<const std::uint8_t>(q),
+                               std::span<const std::uint8_t>(t), sc);
+}
+
+}  // namespace mera::align

@@ -1,0 +1,39 @@
+// Protein substitution-matrix scoring (BLOSUM62) and the matrix-scored
+// Smith-Waterman entry points, generalizing the aligner beyond DNA as the
+// paper's conclusions propose.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "align/smith_waterman.hpp"
+
+namespace mera::align {
+
+using SubstMatrix = std::array<std::array<int, 24>, 24>;
+
+/// The standard NCBI BLOSUM62 matrix in "ARNDCQEGHILKMFPSTWYVBZX*" order.
+[[nodiscard]] const SubstMatrix& blosum62() noexcept;
+
+struct MatrixScoring {
+  const SubstMatrix* matrix = nullptr;  ///< defaults to blosum62() when null
+  int gap_open = 10;   ///< classic BLOSUM62 protein defaults (10, 1)
+  int gap_extend = 1;
+
+  [[nodiscard]] const SubstMatrix& mat() const noexcept {
+    return matrix ? *matrix : blosum62();
+  }
+};
+
+/// Full-DP local alignment of protein code spans (seq::protein_codes).
+[[nodiscard]] LocalAlignment smith_waterman_matrix(
+    std::span<const std::uint8_t> query, std::span<const std::uint8_t> target,
+    const MatrixScoring& sc = {});
+
+/// ASCII protein convenience overload.
+[[nodiscard]] LocalAlignment smith_waterman_protein(
+    std::string_view query, std::string_view target,
+    const MatrixScoring& sc = {});
+
+}  // namespace mera::align

@@ -1,0 +1,70 @@
+#include "align/cigar.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace mera::align {
+
+void Cigar::push(CigarOp op, std::uint32_t len) {
+  if (len == 0) return;
+  if (!elems_.empty() && elems_.back().op == op)
+    elems_.back().len += len;
+  else
+    elems_.push_back({op, len});
+}
+
+std::size_t Cigar::query_span() const noexcept {
+  std::size_t n = 0;
+  for (const auto& e : elems_)
+    if (e.op == CigarOp::kMatch || e.op == CigarOp::kInsert ||
+        e.op == CigarOp::kSoftClip)
+      n += e.len;
+  return n;
+}
+
+std::size_t Cigar::target_span() const noexcept {
+  std::size_t n = 0;
+  for (const auto& e : elems_)
+    if (e.op == CigarOp::kMatch || e.op == CigarOp::kDelete) n += e.len;
+  return n;
+}
+
+std::string Cigar::to_string() const {
+  if (elems_.empty()) return "*";
+  std::string s;
+  for (const auto& e : elems_) {
+    s += std::to_string(e.len);
+    s += static_cast<char>(e.op);
+  }
+  return s;
+}
+
+Cigar Cigar::parse(const std::string& text) {
+  Cigar c;
+  if (text == "*" || text.empty()) return c;
+  std::uint32_t len = 0;
+  for (char ch : text) {
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      len = len * 10 + static_cast<std::uint32_t>(ch - '0');
+      continue;
+    }
+    switch (ch) {
+      case 'M': c.push(CigarOp::kMatch, len); break;
+      case 'I': c.push(CigarOp::kInsert, len); break;
+      case 'D': c.push(CigarOp::kDelete, len); break;
+      case 'S': c.push(CigarOp::kSoftClip, len); break;
+      default:
+        throw std::invalid_argument("Cigar::parse: unknown op '" +
+                                    std::string(1, ch) + "'");
+    }
+    len = 0;
+  }
+  if (len != 0)
+    throw std::invalid_argument("Cigar::parse: trailing length without op");
+  return c;
+}
+
+void Cigar::reverse() noexcept { std::reverse(elems_.begin(), elems_.end()); }
+
+}  // namespace mera::align

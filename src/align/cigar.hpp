@@ -1,0 +1,51 @@
+// CIGAR strings for alignment results (SAM conventions: M/I/D/S).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mera::align {
+
+enum class CigarOp : char {
+  kMatch = 'M',     ///< alignment column (match or mismatch)
+  kInsert = 'I',    ///< base present in query, absent in target
+  kDelete = 'D',    ///< base present in target, absent in query
+  kSoftClip = 'S',  ///< query base not part of the local alignment
+};
+
+struct CigarElem {
+  CigarOp op;
+  std::uint32_t len;
+  friend bool operator==(const CigarElem&, const CigarElem&) = default;
+};
+
+class Cigar {
+ public:
+  Cigar() = default;
+
+  /// Append, merging with the trailing element when ops match.
+  void push(CigarOp op, std::uint32_t len);
+
+  [[nodiscard]] const std::vector<CigarElem>& elems() const noexcept {
+    return elems_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return elems_.empty(); }
+
+  /// Query bases consumed (M, I, S).
+  [[nodiscard]] std::size_t query_span() const noexcept;
+  /// Target bases consumed (M, D).
+  [[nodiscard]] std::size_t target_span() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+  static Cigar parse(const std::string& text);
+
+  void reverse() noexcept;
+
+  friend bool operator==(const Cigar&, const Cigar&) = default;
+
+ private:
+  std::vector<CigarElem> elems_;
+};
+
+}  // namespace mera::align

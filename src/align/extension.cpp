@@ -1,0 +1,46 @@
+#include "align/extension.hpp"
+
+#include <algorithm>
+
+namespace mera::align {
+
+Extension extend_seed(std::span<const std::uint8_t> query,
+                      const seq::PackedSeq& target, std::size_t q_off,
+                      std::size_t t_off, int k, const ExtensionConfig& cfg) {
+  Extension ext;
+  const std::size_t m = query.size();
+  if (m == 0 || target.empty() || k <= 0) return ext;
+
+  // Project the query onto the target via the seed diagonal and pad.
+  // diag0 = target position where query base 0 lands (may be negative when
+  // the query hangs off the target's start).
+  const std::ptrdiff_t diag0 = static_cast<std::ptrdiff_t>(t_off) -
+                               static_cast<std::ptrdiff_t>(q_off);
+  const auto pad = static_cast<std::ptrdiff_t>(cfg.window_pad);
+  const auto proj_begin =
+      static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, diag0 - pad));
+  const auto proj_end = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+      diag0 + static_cast<std::ptrdiff_t>(m) + pad, 0,
+      static_cast<std::ptrdiff_t>(target.size())));
+  ext.window_begin = proj_begin;
+  ext.window_end = proj_end;
+  if (proj_begin >= proj_end) return ext;
+
+  const auto window = dna_codes(target, proj_begin, proj_end - proj_begin);
+  if (cfg.banded) {
+    // The seed lies on diagonal (t_off - proj_begin) - q_off within the
+    // window; band half-width = window_pad covers the padding budget.
+    const auto diag = static_cast<std::ptrdiff_t>(t_off - proj_begin) -
+                      static_cast<std::ptrdiff_t>(q_off);
+    ext.aln = banded_smith_waterman(query, window, diag,
+                                    std::max<std::size_t>(cfg.window_pad, 8),
+                                    cfg.scoring);
+  } else {
+    ext.aln = smith_waterman(query, window, cfg.scoring);
+  }
+  ext.aln.t_begin += proj_begin;
+  ext.aln.t_end += proj_begin;
+  return ext;
+}
+
+}  // namespace mera::align

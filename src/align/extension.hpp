@@ -1,0 +1,42 @@
+// Seed extension: turn a located seed (query offset / target offset) into a
+// full local alignment (Section II-D).
+//
+// The seed fixes the alignment's diagonal, so only a small target window
+// around the implied query placement needs to be examined: the window is the
+// query's projected span padded by `window_pad` bases on each side. Within
+// the window the full-DP kernel produces score + CIGAR; the striped SIMD
+// kernel can pre-screen candidates when a query aligns against many targets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "align/banded_sw.hpp"
+#include "align/smith_waterman.hpp"
+#include "seq/packed_seq.hpp"
+
+namespace mera::align {
+
+struct ExtensionConfig {
+  Scoring scoring{};
+  /// Extra target bases examined on each side of the query's projected span
+  /// (allows for indels near the read ends).
+  std::size_t window_pad = 16;
+  /// Use the banded kernel (band = window_pad) instead of full-window DP.
+  bool banded = false;
+};
+
+struct Extension {
+  LocalAlignment aln;        ///< coordinates within query / full target
+  std::size_t window_begin = 0;  ///< target window used (diagnostics)
+  std::size_t window_end = 0;
+};
+
+/// Extend a seed match: query[q_off..q_off+k) == target[t_off..t_off+k).
+/// Returns an alignment whose t_begin/t_end are in full-target coordinates.
+[[nodiscard]] Extension extend_seed(std::span<const std::uint8_t> query,
+                                    const seq::PackedSeq& target,
+                                    std::size_t q_off, std::size_t t_off,
+                                    int k, const ExtensionConfig& cfg = {});
+
+}  // namespace mera::align

@@ -1,0 +1,71 @@
+#include "align/smith_waterman.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <vector>
+
+#include "align/sw_engine.hpp"
+
+namespace mera::align {
+
+namespace {
+
+LocalAlignment from_engine(detail::SwOut&& o) {
+  LocalAlignment a;
+  a.score = o.score;
+  a.q_begin = o.q_begin;
+  a.q_end = o.q_end;
+  a.t_begin = o.t_begin;
+  a.t_end = o.t_end;
+  a.cigar = std::move(o.cigar);
+  a.mismatches = o.mismatches;
+  a.gap_columns = o.gap_columns;
+  return a;
+}
+
+}  // namespace
+
+LocalAlignment smith_waterman(std::span<const std::uint8_t> query,
+                              std::span<const std::uint8_t> target,
+                              const Scoring& sc) {
+  return from_engine(detail::sw_align(
+      query, target,
+      [&sc](std::uint8_t a, std::uint8_t b) { return sc.substitution(a, b); },
+      sc.gap_open, sc.gap_extend));
+}
+
+LocalAlignment smith_waterman(std::string_view query, std::string_view target,
+                              const Scoring& sc) {
+  const auto q = dna_codes(query);
+  const auto t = dna_codes(target);
+  return smith_waterman(std::span<const std::uint8_t>(q),
+                        std::span<const std::uint8_t>(t), sc);
+}
+
+int sw_score_reference(std::span<const std::uint8_t> query,
+                       std::span<const std::uint8_t> target,
+                       const Scoring& sc) {
+  const std::size_t m = query.size(), n = target.size();
+  if (m == 0 || n == 0) return 0;
+  const int go = sc.gap_open + sc.gap_extend;
+  const int ge = sc.gap_extend;
+  constexpr int kNegInf = INT_MIN / 4;
+  std::vector<int> H(n + 1, 0), Hprev(n + 1, 0), Fv(n + 1, kNegInf);
+  int best = 0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    std::swap(Hprev, H);
+    H[0] = 0;
+    int E = kNegInf;
+    for (std::size_t j = 1; j <= n; ++j) {
+      E = std::max(E - ge, H[j - 1] - go);
+      Fv[j] = std::max(Fv[j] - ge, Hprev[j] - go);
+      const int diag =
+          Hprev[j - 1] + sc.substitution(query[i - 1], target[j - 1]);
+      H[j] = std::max({0, diag, E, Fv[j]});
+      best = std::max(best, H[j]);
+    }
+  }
+  return best;
+}
+
+}  // namespace mera::align

@@ -1,0 +1,45 @@
+// Reference Smith-Waterman local alignment (affine gaps) with traceback.
+//
+// This is the ground-truth kernel: exact full-DP, O(m*n) time and space.
+// The pipeline runs it only on small windows around a located seed; the
+// striped SIMD kernel (striped_sw.hpp) covers score-only screening and is
+// property-tested against this implementation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "align/cigar.hpp"
+#include "align/scoring.hpp"
+
+namespace mera::align {
+
+struct LocalAlignment {
+  int score = 0;
+  // Half-open alignment spans; coordinates are within the inputs as given.
+  std::size_t q_begin = 0, q_end = 0;
+  std::size_t t_begin = 0, t_end = 0;
+  Cigar cigar;  ///< includes leading/trailing soft clips covering the query
+  int mismatches = 0;
+  int gap_columns = 0;  ///< total I+D columns
+
+  [[nodiscard]] bool empty() const noexcept { return q_begin == q_end; }
+};
+
+/// Full-DP local alignment of query vs target (2-bit code spans).
+[[nodiscard]] LocalAlignment smith_waterman(std::span<const std::uint8_t> query,
+                                            std::span<const std::uint8_t> target,
+                                            const Scoring& sc = {});
+
+/// ASCII convenience overload.
+[[nodiscard]] LocalAlignment smith_waterman(std::string_view query,
+                                            std::string_view target,
+                                            const Scoring& sc = {});
+
+/// Score-only scalar reference (used to validate the SIMD kernel).
+[[nodiscard]] int sw_score_reference(std::span<const std::uint8_t> query,
+                                     std::span<const std::uint8_t> target,
+                                     const Scoring& sc = {});
+
+}  // namespace mera::align

@@ -1,0 +1,147 @@
+// Generic affine-gap local-alignment DP engine with traceback.
+//
+// Templated on the substitution function so the same verified kernel serves
+// DNA match/mismatch scoring and protein substitution matrices (BLOSUM62) —
+// the paper's conclusion notes the approach extends to protein alphabets
+// with "minor changes to the underlying protocols".
+#pragma once
+
+#include <algorithm>
+#include <climits>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/cigar.hpp"
+
+namespace mera::align {
+
+struct LocalAlignment;  // defined in smith_waterman.hpp
+
+namespace detail {
+
+// Provenance bits per DP cell for affine traceback.
+// bits 0-1: H source (0 = local-zero stop, 1 = diagonal, 2 = E, 3 = F)
+// bit 2: E extended an existing target-gap run; bit 3: same for F.
+inline constexpr std::uint8_t kHDiag = 1, kHFromE = 2, kHFromF = 3;
+inline constexpr std::uint8_t kEExt = 4, kFExt = 8;
+inline constexpr int kNegInf = INT_MIN / 4;
+
+/// Full-DP local alignment; SubstFn: int(code_q, code_t).
+/// Result is written into the LocalAlignment-compatible output fields via
+/// the Out struct to avoid a circular include.
+struct SwOut {
+  int score = 0;
+  std::size_t q_begin = 0, q_end = 0, t_begin = 0, t_end = 0;
+  Cigar cigar;
+  int mismatches = 0;
+  int gap_columns = 0;
+};
+
+template <typename SubstFn>
+SwOut sw_align(std::span<const std::uint8_t> query,
+               std::span<const std::uint8_t> target, SubstFn&& sub,
+               int gap_open, int gap_extend) {
+  const std::size_t m = query.size(), n = target.size();
+  SwOut out;
+  if (m == 0 || n == 0) return out;
+
+  const int go = gap_open + gap_extend;  // cost of a gap's first base
+  const int ge = gap_extend;
+
+  std::vector<int> H(n + 1, 0), Hprev(n + 1, 0), Fv(n + 1, kNegInf);
+  std::vector<std::uint8_t> prov((m + 1) * (n + 1), 0);
+
+  int best = 0;
+  std::size_t best_i = 0, best_j = 0;
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    std::swap(Hprev, H);
+    H[0] = 0;
+    int E = kNegInf;
+    for (std::size_t j = 1; j <= n; ++j) {
+      std::uint8_t p = 0;
+      const int e_open = H[j - 1] - go;
+      const int e_ext = E - ge;
+      if (e_ext >= e_open) {
+        E = e_ext;
+        p |= kEExt;
+      } else {
+        E = e_open;
+      }
+      const int f_open = Hprev[j] - go;
+      const int f_ext = Fv[j] - ge;
+      if (f_ext >= f_open) {
+        Fv[j] = f_ext;
+        p |= kFExt;
+      } else {
+        Fv[j] = f_open;
+      }
+      const int diag = Hprev[j - 1] + sub(query[i - 1], target[j - 1]);
+      int h = 0;
+      std::uint8_t hsrc = 0;
+      if (diag > h) { h = diag; hsrc = kHDiag; }
+      if (E > h) { h = E; hsrc = kHFromE; }
+      if (Fv[j] > h) { h = Fv[j]; hsrc = kHFromF; }
+      H[j] = h;
+      prov[i * (n + 1) + j] = static_cast<std::uint8_t>(p | hsrc);
+      if (h > best) {
+        best = h;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+
+  out.score = best;
+  if (best == 0) {
+    out.cigar.push(CigarOp::kSoftClip, static_cast<std::uint32_t>(m));
+    return out;
+  }
+
+  Cigar rev;
+  std::size_t i = best_i, j = best_j;
+  enum class State { kH, kE, kF } state = State::kH;
+  while (i > 0 && j > 0) {
+    const std::uint8_t p = prov[i * (n + 1) + j];
+    if (state == State::kH) {
+      const std::uint8_t hsrc = p & 3u;
+      if (hsrc == 0) break;
+      if (hsrc == kHDiag) {
+        rev.push(CigarOp::kMatch, 1);
+        if (query[i - 1] != target[j - 1]) ++out.mismatches;
+        --i;
+        --j;
+      } else if (hsrc == kHFromE) {
+        state = State::kE;
+      } else {
+        state = State::kF;
+      }
+    } else if (state == State::kE) {
+      rev.push(CigarOp::kDelete, 1);
+      ++out.gap_columns;
+      const bool ext = (p & kEExt) != 0;
+      --j;
+      if (!ext) state = State::kH;
+    } else {
+      rev.push(CigarOp::kInsert, 1);
+      ++out.gap_columns;
+      const bool ext = (p & kFExt) != 0;
+      --i;
+      if (!ext) state = State::kH;
+    }
+  }
+
+  out.q_begin = i;
+  out.q_end = best_i;
+  out.t_begin = j;
+  out.t_end = best_j;
+  out.cigar.push(CigarOp::kSoftClip, static_cast<std::uint32_t>(i));
+  rev.reverse();
+  for (const auto& e : rev.elems()) out.cigar.push(e.op, e.len);
+  out.cigar.push(CigarOp::kSoftClip, static_cast<std::uint32_t>(m - best_i));
+  return out;
+}
+
+}  // namespace detail
+}  // namespace mera::align

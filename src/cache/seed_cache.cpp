@@ -1,0 +1,60 @@
+#include "cache/seed_cache.hpp"
+
+namespace mera::cache {
+
+SeedIndexCache::SeedIndexCache(const pgas::Topology& topo, Options opt)
+    : capacity_(opt.capacity_per_node),
+      shards_(static_cast<std::size_t>(topo.nnodes())) {}
+
+bool SeedIndexCache::lookup(int node, const seq::Kmer& seed,
+                            std::size_t max_hits,
+                            std::vector<dht::SeedHit>& out,
+                            std::size_t& total) {
+  Shard& sh = shards_[static_cast<std::size_t>(node)];
+  const std::scoped_lock lk(sh.mu);
+  const auto it = sh.map.find(seed);
+  if (it == sh.map.end()) {
+    ++sh.counters.misses;
+    return false;
+  }
+  ++sh.counters.hits;
+  total = it->second.total;
+  const std::size_t n = std::min(max_hits, it->second.hits.size());
+  out.insert(out.end(), it->second.hits.begin(),
+             it->second.hits.begin() + static_cast<std::ptrdiff_t>(n));
+  return true;
+}
+
+void SeedIndexCache::insert(int node, const seq::Kmer& seed,
+                            const std::vector<dht::SeedHit>& hits,
+                            std::size_t total) {
+  if (capacity_ == 0) return;
+  Shard& sh = shards_[static_cast<std::size_t>(node)];
+  const std::scoped_lock lk(sh.mu);
+  if (sh.map.contains(seed)) return;
+  if (sh.map.size() >= capacity_) {
+    // Clock eviction: overwrite the slot under the cursor.
+    const seq::Kmer victim = sh.ring[sh.cursor];
+    sh.map.erase(victim);
+    sh.ring[sh.cursor] = seed;
+    sh.cursor = (sh.cursor + 1) % sh.ring.size();
+    ++sh.counters.evictions;
+  } else {
+    sh.ring.push_back(seed);
+  }
+  sh.map.emplace(seed, Value{hits, static_cast<std::uint32_t>(total)});
+  ++sh.counters.insertions;
+}
+
+CacheCounters SeedIndexCache::counters() const {
+  CacheCounters c;
+  for (const auto& sh : shards_) {
+    c.hits += sh.counters.hits;
+    c.misses += sh.counters.misses;
+    c.insertions += sh.counters.insertions;
+    c.evictions += sh.counters.evictions;
+  }
+  return c;
+}
+
+}  // namespace mera::cache

@@ -1,0 +1,77 @@
+// Node-level software cache for remote seed-index entries (Section III-B).
+//
+// Each simulated node dedicates memory to caching lookup results for seeds
+// whose home rank lives on a *different* node; any rank of the node can then
+// serve repeat lookups of that seed locally, skipping the off-node transfer.
+// Sharing is per node (UPC shared memory with node affinity), so the shard is
+// mutex-protected — the paper's cache is likewise a shared node resource.
+// Eviction is clock-style: when full, a rotating cursor overwrites entries.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "dht/seed_index.hpp"
+#include "pgas/topology.hpp"
+#include "seq/kmer.hpp"
+
+namespace mera::cache {
+
+struct KmerHasher {
+  std::size_t operator()(const seq::Kmer& k) const noexcept {
+    return static_cast<std::size_t>(k.mixed_hash());
+  }
+};
+
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  [[nodiscard]] double hit_rate() const noexcept {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class SeedIndexCache {
+ public:
+  struct Options {
+    /// Max cached seeds per node (the paper dedicates 16 GB/node; scaled).
+    std::size_t capacity_per_node = 1u << 18;
+  };
+
+  SeedIndexCache(const pgas::Topology& topo, Options opt);
+
+  /// Serve a lookup from the node's cache. On hit, copies up to max_hits
+  /// locations into `out`, sets `total` and returns true.
+  bool lookup(int node, const seq::Kmer& seed, std::size_t max_hits,
+              std::vector<dht::SeedHit>& out, std::size_t& total);
+
+  /// Record a fetched lookup result in the node's cache.
+  void insert(int node, const seq::Kmer& seed,
+              const std::vector<dht::SeedHit>& hits, std::size_t total);
+
+  [[nodiscard]] CacheCounters counters() const;  ///< summed over nodes
+
+ private:
+  struct Value {
+    std::vector<dht::SeedHit> hits;
+    std::uint32_t total = 0;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<seq::Kmer, Value, KmerHasher> map;
+    std::vector<seq::Kmer> ring;  ///< insertion ring for clock eviction
+    std::size_t cursor = 0;
+    CacheCounters counters;
+  };
+
+  std::size_t capacity_;
+  std::vector<Shard> shards_;  // one per node
+};
+
+}  // namespace mera::cache

@@ -1,0 +1,51 @@
+#include "cache/target_cache.hpp"
+
+namespace mera::cache {
+
+TargetCache::TargetCache(const pgas::Topology& topo, Options opt)
+    : capacity_(opt.capacity_bytes_per_node),
+      shards_(static_cast<std::size_t>(topo.nnodes())) {}
+
+bool TargetCache::contains(int node, std::uint32_t gid) {
+  Shard& sh = shards_[static_cast<std::size_t>(node)];
+  const std::scoped_lock lk(sh.mu);
+  const auto it = sh.map.find(gid);
+  if (it == sh.map.end()) {
+    ++sh.counters.misses;
+    return false;
+  }
+  ++sh.counters.hits;
+  sh.lru.splice(sh.lru.begin(), sh.lru, it->second);  // touch
+  return true;
+}
+
+void TargetCache::insert(int node, std::uint32_t gid, std::size_t bytes) {
+  if (capacity_ == 0 || bytes > capacity_) return;
+  Shard& sh = shards_[static_cast<std::size_t>(node)];
+  const std::scoped_lock lk(sh.mu);
+  if (sh.map.contains(gid)) return;
+  while (sh.used_bytes + bytes > capacity_ && !sh.lru.empty()) {
+    const Entry& victim = sh.lru.back();
+    sh.used_bytes -= victim.bytes;
+    sh.map.erase(victim.gid);
+    sh.lru.pop_back();
+    ++sh.counters.evictions;
+  }
+  sh.lru.push_front(Entry{gid, bytes});
+  sh.map.emplace(gid, sh.lru.begin());
+  sh.used_bytes += bytes;
+  ++sh.counters.insertions;
+}
+
+CacheCounters TargetCache::counters() const {
+  CacheCounters c;
+  for (const auto& sh : shards_) {
+    c.hits += sh.counters.hits;
+    c.misses += sh.counters.misses;
+    c.insertions += sh.counters.insertions;
+    c.evictions += sh.counters.evictions;
+  }
+  return c;
+}
+
+}  // namespace mera::cache

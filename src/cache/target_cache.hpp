@@ -1,0 +1,57 @@
+// Node-level software cache for remote target sequences (Section III-B).
+//
+// Targets are much longer than reads, so many reads extend against the same
+// target; caching a fetched remote target on its first use serves every later
+// extension on the node for free. The paper finds this cache "extremely
+// efficient at all concurrencies — it essentially obviates all the
+// communication involved with target sequences" (Figure 9); the byte-bounded
+// LRU below reproduces that behaviour.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/seed_cache.hpp"  // CacheCounters
+#include "pgas/topology.hpp"
+
+namespace mera::cache {
+
+class TargetCache {
+ public:
+  struct Options {
+    /// Cached payload budget per node (paper: 6 GB/node; scaled down).
+    std::size_t capacity_bytes_per_node = 64u << 20;
+  };
+
+  TargetCache(const pgas::Topology& topo, Options opt);
+
+  /// True iff target `gid` is already cached on `node` (touches LRU).
+  bool contains(int node, std::uint32_t gid);
+
+  /// Record that `gid` (of `bytes` payload) is now cached on `node`,
+  /// evicting least-recently-used entries to fit.
+  void insert(int node, std::uint32_t gid, std::size_t bytes);
+
+  [[nodiscard]] CacheCounters counters() const;
+
+ private:
+  struct Entry {
+    std::uint32_t gid;
+    std::size_t bytes;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recent
+    std::unordered_map<std::uint32_t, std::list<Entry>::iterator> map;
+    std::size_t used_bytes = 0;
+    CacheCounters counters;
+  };
+
+  std::size_t capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace mera::cache

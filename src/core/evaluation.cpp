@@ -1,0 +1,129 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <ostream>
+
+#include "seq/dna.hpp"
+#include "seq/genome_sim.hpp"
+#include "seq/read_sim.hpp"
+
+namespace mera::core {
+
+namespace {
+
+struct BestHit {
+  std::uint32_t target_id = 0;
+  int score = -1;
+  std::size_t t_begin = 0;
+  bool reverse = false;
+};
+
+}  // namespace
+
+bool read_is_findable(const seq::SeqRecord& read, std::string_view genome,
+                      const std::vector<seq::SeqRecord>& contigs, int k) {
+  const auto truth = seq::parse_read_truth(read.name);
+  if (truth.junk) return false;
+  const std::size_t len = read.seq.size();
+  if (len < static_cast<std::size_t>(k)) return false;
+  // Read bases in genome orientation.
+  const std::string oriented =
+      truth.reverse ? seq::reverse_complement(read.seq) : read.seq;
+  const std::string_view genomic = genome.substr(truth.pos, len);
+
+  // Clean stretches: maximal runs where the read agrees with the genome.
+  // A window of length >= k inside one contig makes the read findable.
+  for (std::size_t start = 0; start + static_cast<std::size_t>(k) <= len;
+       ++start) {
+    bool clean = true;
+    for (std::size_t i = start; i < start + static_cast<std::size_t>(k); ++i) {
+      if (oriented[i] != genomic[i] ||
+          seq::encode_base(oriented[i]) == seq::kInvalidBase) {
+        clean = false;
+        break;
+      }
+    }
+    if (!clean) continue;
+    const std::size_t gpos = truth.pos + start;
+    for (const auto& c : contigs) {
+      const auto ct = seq::parse_contig_truth(c.name);
+      if (gpos >= ct.start && gpos + static_cast<std::size_t>(k) <= ct.end)
+        return true;
+    }
+  }
+  return false;
+}
+
+EvalResult evaluate_alignments(const std::vector<seq::SeqRecord>& contigs,
+                               const std::vector<seq::SeqRecord>& reads,
+                               const std::vector<AlignmentRecord>& alignments,
+                               const EvalOptions& opt,
+                               std::string_view genome) {
+  EvalResult res;
+  res.total_reads = reads.size();
+  if (!genome.empty())
+    for (const auto& r : reads)
+      res.findable_reads +=
+          read_is_findable(r, genome, contigs, opt.k) ? 1u : 0u;
+
+  // Contig genome-interval lookup by target id (= input order).
+  std::vector<seq::ContigTruth> contig_truth;
+  contig_truth.reserve(contigs.size());
+  for (const auto& c : contigs)
+    contig_truth.push_back(seq::parse_contig_truth(c.name));
+
+  // Best alignment per read.
+  std::map<std::string, BestHit> best;
+  for (const auto& a : alignments) {
+    auto& b = best[a.query_name];
+    if (a.score > b.score) b = {a.target_id, a.score, a.t_begin, a.reverse};
+  }
+
+  for (const auto& r : reads) {
+    const auto truth = seq::parse_read_truth(r.name);
+    const auto it = best.find(r.name);
+    if (truth.junk) {
+      ++res.junk_reads;
+      if (it != best.end()) {
+        ++res.junk_aligned;
+        ++res.aligned_reads;
+      }
+      continue;
+    }
+    if (it == best.end()) continue;
+    ++res.aligned_reads;
+    const BestHit& b = it->second;
+    const auto& ct = contig_truth[b.target_id];
+    // Reported genome start. For reverse alignments t_begin is where the
+    // reverse-complemented read begins; the read's 5' end in genome
+    // coordinates is the same t_begin (the rc read spans the same interval).
+    const std::size_t genome_pos = ct.start + b.t_begin;
+    const bool pos_ok =
+        genome_pos + opt.position_tolerance >= truth.pos &&
+        genome_pos <= truth.pos + opt.position_tolerance;
+    if (pos_ok && b.reverse == truth.reverse)
+      ++res.correctly_placed;
+    else
+      ++res.misplaced;
+  }
+  return res;
+}
+
+void EvalResult::print(std::ostream& os) const {
+  os << "reads total / junk / findable: " << total_reads << " / " << junk_reads
+     << " / " << findable_reads << '\n'
+     << std::fixed << std::setprecision(2)
+     << "aligned:          " << aligned_reads << "  ("
+     << 100.0 * aligned_fraction() << "% of all)\n"
+     << "correctly placed: " << correctly_placed << "  (precision "
+     << 100.0 * placement_precision() << "%)\n"
+     << "misplaced:        " << misplaced << '\n'
+     << "junk aligned:     " << junk_aligned << '\n';
+  if (findable_reads)
+    os << "recall vs seed-findable: " << 100.0 * recall_vs_findable() << "%\n";
+  os.unsetf(std::ios::fixed);
+}
+
+}  // namespace mera::core

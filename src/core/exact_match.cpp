@@ -1,0 +1,22 @@
+#include "core/exact_match.hpp"
+
+namespace mera::core {
+
+std::optional<ExactPlacement> exact_placement(const dht::SeedHit& hit,
+                                              std::size_t q_off,
+                                              std::size_t q_len,
+                                              std::size_t target_len) {
+  const std::size_t t_seed = hit.t_pos;  // seed position on the full target
+  if (t_seed < q_off) return std::nullopt;  // query sticks out on the left
+  const std::size_t t_begin = t_seed - q_off;
+  if (t_begin + q_len > target_len) return std::nullopt;  // out on the right
+  return ExactPlacement{hit.target_id, t_begin};
+}
+
+bool exact_compare(const seq::PackedSeq& query, const seq::PackedSeq& target,
+                   const ExactPlacement& placement) {
+  return seq::PackedSeq::equal_range(query, 0, target, placement.t_begin,
+                                     query.size());
+}
+
+}  // namespace mera::core

@@ -1,0 +1,35 @@
+// The Lemma-1 exact-match fast path (Section IV-A).
+//
+// If a query's seed hits a fragment whose seeds are all uniquely located
+// (single_copy_seeds == true) and the query matches the target exactly over
+// its full length at the placement the seed implies, then no other target can
+// match the query anywhere (Lemma 1 with s == q): one seed lookup plus one
+// packed string comparison replaces L lookups and C Smith-Waterman runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dht/seed_index.hpp"
+#include "seq/packed_seq.hpp"
+
+namespace mera::core {
+
+struct ExactPlacement {
+  std::uint32_t target_id = 0;
+  std::size_t t_begin = 0;  ///< where query base 0 lands on the full target
+};
+
+/// Placement of the whole query implied by seed `hit` at query offset `q_off`.
+/// nullopt when the query would hang off either end of the target (the
+/// exact-match path requires the query to lie fully inside the target).
+[[nodiscard]] std::optional<ExactPlacement> exact_placement(
+    const dht::SeedHit& hit, std::size_t q_off, std::size_t q_len,
+    std::size_t target_len);
+
+/// Full-length packed comparison of query vs target at `placement`.
+[[nodiscard]] bool exact_compare(const seq::PackedSeq& query,
+                                 const seq::PackedSeq& target,
+                                 const ExactPlacement& placement);
+
+}  // namespace mera::core

@@ -1,0 +1,30 @@
+#include "core/fragmenter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mera::core {
+
+std::vector<FragmentSpan> fragment_spans(std::size_t target_len,
+                                         std::size_t fragment_len, int k) {
+  if (k < 1) throw std::invalid_argument("fragment_spans: k < 1");
+  if (fragment_len < static_cast<std::size_t>(k))
+    throw std::invalid_argument("fragment_spans: fragment_len < k");
+  std::vector<FragmentSpan> spans;
+  if (target_len == 0) return spans;
+  if (fragment_len >= target_len) {
+    spans.push_back({0, target_len});
+    return spans;
+  }
+  const std::size_t step = fragment_len - static_cast<std::size_t>(k) + 1;
+  for (std::size_t off = 0; off < target_len; off += step) {
+    const std::size_t len = std::min(fragment_len, target_len - off);
+    if (len < static_cast<std::size_t>(k) && off != 0)
+      break;  // no seeds of its own
+    spans.push_back({off, len});
+    if (off + len >= target_len) break;
+  }
+  return spans;
+}
+
+}  // namespace mera::core

@@ -1,0 +1,30 @@
+// Target fragmentation for the exact-match optimization (Section IV-A).
+//
+// A long target almost surely contains at least one non-unique seed, which
+// would disqualify the whole target from the Lemma-1 fast path. Cutting the
+// target into fragments of length F that overlap by exactly k-1 bases gives
+// fragments whose seed sets are (a) pairwise disjoint and (b) together exactly
+// the target's seed set — so a duplicate seed only poisons its own fragment
+// and the rest keep their single_copy_seeds flag.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mera::core {
+
+struct FragmentSpan {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  friend bool operator==(const FragmentSpan&, const FragmentSpan&) = default;
+};
+
+/// Fragment starts step by F-k+1 so consecutive fragments overlap by k-1.
+/// A fragment_len >= target_len yields a single whole-target fragment.
+/// Tail fragments shorter than k are dropped (they carry no seeds of their
+/// own; the previous fragment already covers every seed ending in them).
+[[nodiscard]] std::vector<FragmentSpan> fragment_spans(std::size_t target_len,
+                                                       std::size_t fragment_len,
+                                                       int k);
+
+}  // namespace mera::core

@@ -1,0 +1,6 @@
+#include "core/load_balance.hpp"
+
+// Header-only utilities; TU anchors the module in the archive.
+namespace mera::core {
+static_assert(sizeof(max_load_bound(0, 1)) > 0);
+}  // namespace mera::core

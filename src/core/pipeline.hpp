@@ -1,0 +1,103 @@
+// The end-to-end merAligner pipeline (Algorithm 1 + Sections III-V).
+//
+// Phases (each barrier-delimited and timed):
+//   io.targets   every rank reads its partition of the target sequences and
+//                deposits them in the distributed TargetStore
+//   index.build  seed extraction + distributed seed index construction
+//                (counting pre-pass, then aggregated or naive deposits)
+//   index.mark   exact-match preprocessing: owners visit their shard, find
+//                seeds with count > 1 and clear the single_copy_seeds flag of
+//                the fragments those seeds came from
+//   io.reads     every rank reads its partition of the queries
+//   align        seed-and-extend with software caches, the Lemma-1 fast path,
+//                and the max-hits-per-seed threshold
+//
+// Every optimization the paper evaluates is an independent AlignerConfig
+// switch, which is how the benches reproduce Figures 8-10 and Tables I-II.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "align/extension.hpp"
+#include "cache/seed_cache.hpp"
+#include "cache/target_cache.hpp"
+#include "core/alignment.hpp"
+#include "core/stats.hpp"
+#include "pgas/runtime.hpp"
+#include "seq/fasta.hpp"
+
+namespace mera::core {
+
+struct AlignerConfig {
+  int k = 51;  ///< seed length (paper: 51 for human/wheat, 19 for E. coli)
+
+  // Distributed seed index construction (Section III-A).
+  bool aggregating_stores = true;
+  std::size_t buffer_S = 1000;
+
+  // Software caches (Section III-B); capacities are per simulated node.
+  bool seed_cache = true;
+  std::size_t seed_cache_capacity = 1u << 18;
+  bool target_cache = true;
+  std::size_t target_cache_bytes = 64u << 20;
+
+  // Exact-match optimization (Section IV-A).
+  bool exact_match = true;
+  /// Index-fragment length; SIZE_MAX turns fragmentation off.
+  std::size_t fragment_len = 1024;
+
+  // Load balancing (Section IV-B). Applied to the in-memory query vector
+  // before partitioning (the paper permutes the input file offline).
+  bool permute_queries = true;
+  std::uint64_t permute_seed = 0xC0FFEEULL;
+
+  // Aligning phase.
+  std::size_t max_hits_per_seed = 32;  ///< Section IV-C threshold
+  std::size_t seed_stride = 1;         ///< probe every seed_stride-th seed
+  align::ExtensionConfig extension{};
+  /// Minimum score to report; -1 = auto (match score * k, i.e. at least the
+  /// seed region must align).
+  int min_report_score = -1;
+  bool collect_alignments = true;
+};
+
+struct AlignResult {
+  pgas::PhaseReport report;              ///< per-phase simulated times
+  PipelineStats stats;                   ///< summed over ranks
+  std::vector<PipelineStats> per_rank;
+  std::vector<AlignmentRecord> alignments;  ///< merged; empty if not collected
+  cache::CacheCounters seed_cache;
+  cache::CacheCounters target_cache;
+  double single_copy_fraction = 0.0;  ///< fragments eligible for Lemma 1
+  std::size_t index_entries = 0;
+
+  [[nodiscard]] double total_time_s() const { return report.total_time_s(); }
+};
+
+class MerAligner {
+ public:
+  explicit MerAligner(AlignerConfig cfg = {});
+
+  /// In-memory API: align `reads` against `targets` on the given runtime.
+  /// Queries are permuted (if configured) and block-partitioned over ranks.
+  [[nodiscard]] AlignResult align(pgas::Runtime& rt,
+                                  const std::vector<seq::SeqRecord>& targets,
+                                  const std::vector<seq::SeqRecord>& reads) const;
+
+  /// File API: FASTA targets + SeqDB queries, optional SAM output.
+  /// Each rank reads only its own partition of both inputs (parallel I/O).
+  [[nodiscard]] AlignResult align_files(pgas::Runtime& rt,
+                                        const std::string& target_fasta,
+                                        const std::string& reads_seqdb,
+                                        const std::string& sam_out = {}) const;
+
+  [[nodiscard]] const AlignerConfig& config() const noexcept { return cfg_; }
+
+ private:
+  AlignerConfig cfg_;
+};
+
+}  // namespace mera::core

@@ -1,0 +1,47 @@
+#include "core/sam_writer.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "seq/dna.hpp"
+
+namespace mera::core {
+
+void write_sam_header(std::ostream& os, const TargetStore& targets) {
+  os << "@HD\tVN:1.6\tSO:unknown\n";
+  for (std::uint32_t gid = 0; gid < targets.num_targets(); ++gid) {
+    const Target& t = targets.target_unsync(gid);
+    os << "@SQ\tSN:" << t.name << "\tLN:" << t.seq.size() << '\n';
+  }
+  os << "@PG\tID:merAligner\tPN:merAligner\tVN:1.0\n";
+}
+
+void write_sam_record(std::ostream& os, const AlignmentRecord& rec,
+                      const TargetStore& targets,
+                      const std::string& query_seq) {
+  const Target& t = targets.target_unsync(rec.target_id);
+  const unsigned flag = rec.reverse ? 0x10u : 0u;
+  // SAM stores the sequence as aligned: reverse-complement for 0x10.
+  const std::string seq =
+      rec.reverse ? seq::reverse_complement(query_seq) : query_seq;
+  os << rec.query_name << '\t' << flag << '\t' << t.name << '\t'
+     << rec.t_begin + 1 << '\t' << (rec.exact ? 60 : 30) << '\t' << rec.cigar
+     << '\t' << "*\t0\t0\t" << seq << "\t*\tAS:i:" << rec.score
+     << "\tNM:i:" << rec.mismatches << '\n';
+}
+
+void write_sam_file(const std::string& path, const TargetStore& targets,
+                    const std::vector<AlignmentRecord>& recs,
+                    const std::vector<std::string>& query_seqs) {
+  if (recs.size() != query_seqs.size())
+    throw std::invalid_argument("write_sam_file: records/sequences mismatch");
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_sam_header(out, targets);
+  for (std::size_t i = 0; i < recs.size(); ++i)
+    write_sam_record(out, recs[i], targets, query_seqs[i]);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace mera::core

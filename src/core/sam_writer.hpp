@@ -1,0 +1,27 @@
+// Minimal SAM output for alignment records.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/alignment.hpp"
+#include "core/target_store.hpp"
+
+namespace mera::core {
+
+/// Write @HD/@SQ headers for every target in the store.
+void write_sam_header(std::ostream& os, const TargetStore& targets);
+
+/// One SAM line per record; `query_len` and `query_seq` refer to the read in
+/// its original (forward) orientation, as SAM requires seq to be stored
+/// reverse-complemented with flag 0x10 when the alignment is on the reverse
+/// strand.
+void write_sam_record(std::ostream& os, const AlignmentRecord& rec,
+                      const TargetStore& targets, const std::string& query_seq);
+
+void write_sam_file(const std::string& path, const TargetStore& targets,
+                    const std::vector<AlignmentRecord>& recs,
+                    const std::vector<std::string>& query_seqs);
+
+}  // namespace mera::core

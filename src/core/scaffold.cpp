@@ -1,0 +1,146 @@
+#include "core/scaffold.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace mera::core {
+
+Scaffolder::Scaffolder(std::vector<std::size_t> contig_lengths,
+                       ScaffoldOptions opt)
+    : contig_lengths_(std::move(contig_lengths)), opt_(opt) {}
+
+std::vector<MatePair> Scaffolder::pair_adjacent(
+    const std::vector<AlignmentRecord>& best_per_read,
+    const std::vector<bool>& aligned) {
+  if (best_per_read.size() != aligned.size())
+    throw std::invalid_argument("pair_adjacent: size mismatch");
+  std::vector<MatePair> pairs;
+  pairs.reserve(best_per_read.size() / 2);
+  for (std::size_t i = 0; i + 1 < best_per_read.size(); i += 2) {
+    MatePair p;
+    p.first = best_per_read[i];
+    p.second = best_per_read[i + 1];
+    p.first_aligned = aligned[i];
+    p.second_aligned = aligned[i + 1];
+    pairs.push_back(std::move(p));
+  }
+  return pairs;
+}
+
+void Scaffolder::bump_edge(std::uint32_t from, std::uint32_t to, double gap) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+  for (auto& [k, e] : edges_) {
+    if (k == key) {
+      ++e.support;
+      e.gap_sum += gap;
+      return;
+    }
+  }
+  edges_.push_back({key, Edge{1, gap}});
+}
+
+void Scaffolder::add_pairs(const std::vector<MatePair>& pairs) {
+  for (const auto& p : pairs) {
+    if (!p.first_aligned || !p.second_aligned) continue;
+    if (p.first.score < opt_.min_score || p.second.score < opt_.min_score)
+      continue;
+    const auto& a = p.first;
+    const auto& b = p.second;
+    if (a.target_id == b.target_id) continue;
+
+    // FR library: a forward mate points toward its contig's *end*; distance
+    // left to travel within the contig is len - t_begin. A reverse mate
+    // points toward its contig's *start*; remaining distance is t_end.
+    // If the insert spans a gap, the forward mate's contig precedes the
+    // reverse mate's contig in the genome.
+    const AlignmentRecord* fwd = nullptr;
+    const AlignmentRecord* rev = nullptr;
+    if (!a.reverse && b.reverse) {
+      fwd = &a;
+      rev = &b;
+    } else if (a.reverse && !b.reverse) {
+      fwd = &b;
+      rev = &a;
+    } else {
+      continue;  // discordant orientation: not a scaffolding witness
+    }
+    const std::size_t len_from = contig_lengths_[fwd->target_id];
+    const double into_from =
+        static_cast<double>(len_from) - static_cast<double>(fwd->t_begin);
+    const double into_to = static_cast<double>(rev->t_end);
+    const double gap =
+        static_cast<double>(opt_.insert_mean) - into_from - into_to;
+    bump_edge(fwd->target_id, rev->target_id, gap);
+  }
+}
+
+std::vector<ContigLink> Scaffolder::links() const {
+  std::vector<ContigLink> out;
+  for (const auto& [key, e] : edges_) {
+    if (static_cast<std::size_t>(e.support) < opt_.min_links) continue;
+    ContigLink l;
+    l.from = static_cast<std::uint32_t>(key >> 32);
+    l.to = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
+    l.support = e.support;
+    l.gap_estimate = e.gap_sum / e.support;
+    out.push_back(l);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ContigLink& x, const ContigLink& y) {
+              return x.support > y.support;
+            });
+  return out;
+}
+
+std::vector<Scaffold> Scaffolder::build() const {
+  const auto accepted = links();
+  const std::size_t n = contig_lengths_.size();
+  std::vector<std::int64_t> next(n, -1), prev(n, -1);
+  std::vector<double> gap_after(n, 0);
+
+  // Union-find to reject cycles.
+  std::vector<std::uint32_t> root(n);
+  for (std::size_t i = 0; i < n; ++i) root[i] = static_cast<std::uint32_t>(i);
+  const auto find = [&](std::uint32_t x) {
+    while (root[x] != x) {
+      root[x] = root[root[x]];
+      x = root[x];
+    }
+    return x;
+  };
+
+  for (const auto& l : accepted) {
+    if (next[l.from] != -1 || prev[l.to] != -1) continue;  // degree cap
+    const auto ra = find(l.from), rb = find(l.to);
+    if (ra == rb) continue;  // would close a cycle
+    next[l.from] = l.to;
+    prev[l.to] = l.from;
+    gap_after[l.from] = l.gap_estimate;
+    root[ra] = rb;
+  }
+
+  std::vector<Scaffold> scaffolds;
+  std::vector<bool> visited(n, false);
+  for (std::size_t c = 0; c < n; ++c) {
+    if (visited[c] || prev[c] != -1) continue;  // chain heads only
+    Scaffold s;
+    std::int64_t cur = static_cast<std::int64_t>(c);
+    while (cur != -1) {
+      visited[static_cast<std::size_t>(cur)] = true;
+      s.contigs.push_back(static_cast<std::uint32_t>(cur));
+      const std::int64_t nxt = next[static_cast<std::size_t>(cur)];
+      if (nxt != -1) s.gaps.push_back(gap_after[static_cast<std::size_t>(cur)]);
+      cur = nxt;
+    }
+    scaffolds.push_back(std::move(s));
+  }
+  // Longest scaffolds first (like assembler N50 reporting).
+  std::sort(scaffolds.begin(), scaffolds.end(),
+            [](const Scaffold& a, const Scaffold& b) {
+              return a.contigs.size() > b.contigs.size();
+            });
+  return scaffolds;
+}
+
+}  // namespace mera::core

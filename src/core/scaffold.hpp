@@ -1,0 +1,87 @@
+// Contig scaffolding from paired-read alignments.
+//
+// merAligner exists because "the key first stage of the general scaffolding
+// algorithm is aligning the reads onto the generated contigs" (Section I).
+// This module is that consumer: given the aligner's output for a paired-end
+// library, it derives contig-adjacency links (pairs whose mates align to
+// different contigs), estimates the gap between linked contigs from the
+// library's insert size, and greedily chains contigs into scaffolds.
+//
+// The implementation assumes the common FR (forward/reverse) library layout
+// produced by seq::simulate_reads: the two mates of a fragment face each
+// other, so a mate aligned forward points at the fragment's far end and a
+// mate aligned reverse points back at its near end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/alignment.hpp"
+
+namespace mera::core {
+
+struct ScaffoldOptions {
+  std::size_t insert_mean = 400;  ///< paired-end library insert size
+  std::size_t min_links = 3;      ///< pairs required to accept an edge
+  int min_score = 0;              ///< ignore alignments below this score
+};
+
+/// One mate pair's best alignments (absent mates have score < 0).
+struct MatePair {
+  AlignmentRecord first;
+  AlignmentRecord second;
+  bool first_aligned = false;
+  bool second_aligned = false;
+};
+
+/// An accepted adjacency between two contigs.
+struct ContigLink {
+  std::uint32_t from = 0;  ///< contig whose *end* the link leaves
+  std::uint32_t to = 0;    ///< contig whose *start* the link enters
+  int support = 0;         ///< number of witnessing pairs
+  double gap_estimate = 0; ///< mean estimated gap (may be negative: overlap)
+};
+
+/// An ordered chain of contigs with estimated gaps between neighbours
+/// (gaps.size() == contigs.size() - 1).
+struct Scaffold {
+  std::vector<std::uint32_t> contigs;
+  std::vector<double> gaps;
+};
+
+class Scaffolder {
+ public:
+  Scaffolder(std::vector<std::size_t> contig_lengths, ScaffoldOptions opt);
+
+  /// Group a read stream's best alignments into mate pairs by the
+  /// mates-are-adjacent convention (reads 2i and 2i+1 are mates). `best`
+  /// must hold one entry per read in read order; entries with
+  /// `aligned == false` mark unaligned mates.
+  static std::vector<MatePair> pair_adjacent(
+      const std::vector<AlignmentRecord>& best_per_read,
+      const std::vector<bool>& aligned);
+
+  /// Accumulate links from mate pairs whose mates hit different contigs.
+  void add_pairs(const std::vector<MatePair>& pairs);
+
+  /// Accepted links (support >= min_links), strongest first.
+  [[nodiscard]] std::vector<ContigLink> links() const;
+
+  /// Greedy scaffolding: repeatedly add the strongest link that keeps every
+  /// contig's in/out degree <= 1 and creates no cycle; walk the chains.
+  [[nodiscard]] std::vector<Scaffold> build() const;
+
+ private:
+  struct Edge {
+    int support = 0;
+    double gap_sum = 0;
+  };
+
+  std::vector<std::size_t> contig_lengths_;
+  ScaffoldOptions opt_;
+  // Directed adjacency candidates: (from << 32 | to) -> evidence.
+  std::vector<std::pair<std::uint64_t, Edge>> edges_;
+  void bump_edge(std::uint32_t from, std::uint32_t to, double gap);
+};
+
+}  // namespace mera::core

@@ -1,0 +1,109 @@
+#include "dbg/contig_builder.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "seq/dna.hpp"
+
+namespace mera::dbg {
+
+namespace {
+
+using UUMap =
+    std::unordered_map<seq::Kmer, const KmerInfo*, cache::KmerHasher>;
+using Visited = std::unordered_set<seq::Kmer, cache::KmerHasher>;
+
+/// Walk state: the k-mer as seen in walk direction; `canonical` is its
+/// spectrum key and `flipped` says walk k-mer == revcomp(canonical).
+struct Node {
+  seq::Kmer walk;
+  seq::Kmer canonical;
+  bool flipped = false;
+  const KmerInfo* info = nullptr;
+};
+
+Node make_node(const seq::Kmer& walk, const UUMap& uu) {
+  Node n;
+  n.walk = walk;
+  const seq::Kmer rc = walk.reverse_complement();
+  n.flipped = rc < walk;
+  n.canonical = n.flipped ? rc : walk;
+  const auto it = uu.find(n.canonical);
+  n.info = it == uu.end() ? nullptr : it->second;
+  return n;
+}
+
+/// Unique right extension of the node in walk orientation (4 = none).
+std::uint8_t right_ext(const Node& n, std::uint32_t votes) {
+  if (!n.flipped) return n.info->unique_right(votes);
+  const std::uint8_t ul = n.info->unique_left(votes);
+  return ul == 4 ? std::uint8_t{4} : seq::complement_code(ul);
+}
+
+/// Extend rightward from `start` (already verified UU, already visited);
+/// returns the appended bases and marks every consumed node visited.
+std::string walk_right(Node start, const UUMap& uu, Visited& visited,
+                       std::uint32_t votes) {
+  std::string appended;
+  Node cur = start;
+  for (;;) {
+    const std::uint8_t b = right_ext(cur, votes);
+    if (b == 4) break;
+    seq::Kmer next_walk = cur.walk;
+    next_walk.roll(b);
+    Node next = make_node(next_walk, uu);
+    if (next.info == nullptr) break;               // neighbour not UU/solid
+    if (!visited.insert(next.canonical).second) break;  // cycle / consumed
+    appended.push_back(seq::decode_base(b));
+    cur = next;
+  }
+  return appended;
+}
+
+}  // namespace
+
+std::vector<std::string> build_contigs(const KmerSpectrum& spectrum,
+                                       int nranks,
+                                       const ContigBuildOptions& opt) {
+  // Snapshot the UU k-mers of every shard (serial post-pass; see header).
+  UUMap uu;
+  std::vector<seq::Kmer> seeds;
+  for (int r = 0; r < nranks; ++r) {
+    spectrum.for_each_local(r, [&](const seq::Kmer& m, const KmerInfo& info) {
+      if (info.count < opt.min_count) return;
+      if (info.unique_left(opt.min_ext_votes) == 4 &&
+          info.left[4] != info.count)
+        return;  // ambiguous left side
+      if (info.unique_right(opt.min_ext_votes) == 4 &&
+          info.right[4] != info.count)
+        return;  // ambiguous right side
+      uu.emplace(m, &info);
+      seeds.push_back(m);
+    });
+  }
+  std::sort(seeds.begin(), seeds.end());  // deterministic traversal order
+
+  Visited visited;
+  std::vector<std::string> contigs;
+  for (const seq::Kmer& s : seeds) {
+    if (visited.contains(s)) continue;
+    visited.insert(s);
+    Node fwd = make_node(s, uu);          // canonical orientation
+    Node bwd = make_node(s.reverse_complement(), uu);
+    const std::string right = walk_right(fwd, uu, visited, opt.min_ext_votes);
+    const std::string left = walk_right(bwd, uu, visited, opt.min_ext_votes);
+    // contig = revcomp(rc(s) + left-walk) + right-walk, deduplicating s.
+    std::string contig =
+        seq::reverse_complement(bwd.walk.to_string() + left);
+    contig += right;
+    if (contig.size() >= std::max<std::size_t>(opt.min_contig_len,
+                                               static_cast<std::size_t>(
+                                                   spectrum.k())))
+      contigs.push_back(std::move(contig));
+  }
+  std::sort(contigs.begin(), contigs.end());
+  return contigs;
+}
+
+}  // namespace mera::dbg

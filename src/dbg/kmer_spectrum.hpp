@@ -1,0 +1,134 @@
+// Distributed k-mer spectrum — the contig-generation substrate.
+//
+// The paper's distributed hash table "was previously used for contig
+// generation" (Section III, citing the authors' SC'14 de Bruijn work) and
+// the conclusions pitch merAligner as "a generic, distributed hash platform".
+// This module demonstrates both: the same local-shared-stack + aggregating-
+// store machinery counts canonical k-mers of a read set (with per-side
+// extension tallies), which is the data structure Meraculous builds contigs
+// from. core::build_contigs (contig_builder.hpp) then walks the unique-
+// extension (UU) k-mer graph into contigs — giving this repo the producer of
+// the very contigs merAligner aligns reads back onto.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/seed_cache.hpp"  // KmerHasher
+#include "dht/aggregating_store.hpp"
+#include "dht/local_shared_stack.hpp"
+#include "pgas/runtime.hpp"
+#include "seq/kmer.hpp"
+
+namespace mera::dbg {
+
+/// Occurrence count plus extension tallies of one canonical k-mer.
+/// left/right are the bases preceding/following the k-mer when it is read
+/// in its canonical orientation ('count' of base code 0..3; index 4 = none,
+/// i.e. the k-mer touched a read end).
+struct KmerInfo {
+  std::uint32_t count = 0;
+  std::array<std::uint32_t, 5> left{};
+  std::array<std::uint32_t, 5> right{};
+
+  /// Code of the single dominant extension, or 4 if none qualifies.
+  /// Meraculous-style UU test with vote thresholds: the dominant base needs
+  /// >= `min_votes` votes while every other base stays below the threshold
+  /// (stray sequencing-error votes must not disqualify a real extension).
+  [[nodiscard]] std::uint8_t unique_ext(const std::array<std::uint32_t, 5>& side,
+                                        std::uint32_t min_votes) const {
+    std::uint8_t best = 4;
+    std::uint32_t best_v = 0, second_v = 0;
+    for (std::uint8_t b = 0; b < 4; ++b) {
+      const std::uint32_t v = side[b];
+      if (v > best_v) {
+        second_v = best_v;
+        best_v = v;
+        best = b;
+      } else if (v > second_v) {
+        second_v = v;
+      }
+    }
+    return (best_v >= min_votes && second_v < min_votes) ? best
+                                                         : std::uint8_t{4};
+  }
+  [[nodiscard]] std::uint8_t unique_left(std::uint32_t v) const {
+    return unique_ext(left, v);
+  }
+  [[nodiscard]] std::uint8_t unique_right(std::uint32_t v) const {
+    return unique_ext(right, v);
+  }
+};
+
+class KmerSpectrum {
+ public:
+  struct Options {
+    int k = 21;
+    std::size_t buffer_S = 1000;   ///< aggregating-store buffer size
+    bool aggregating_stores = true;
+  };
+
+  KmerSpectrum(const pgas::Topology& topo, Options opt);
+  KmerSpectrum(const KmerSpectrum&) = delete;
+  KmerSpectrum& operator=(const KmerSpectrum&) = delete;
+
+  [[nodiscard]] int k() const noexcept { return opt_.k; }
+
+  // --- collective construction (two stages, like the seed index) ----------
+  /// Stage 1: tally the k-mers of one read (local). Call per local read.
+  void count_read(pgas::Rank& rank, std::string_view read);
+  /// Stage 1 end (collective): size the landing stacks.
+  void finish_count(pgas::Rank& rank);
+  /// Stage 2: route one read's k-mers + extensions to their owners.
+  void insert_read(pgas::Rank& rank, std::string_view read);
+  /// Stage 2 end (collective): drain stacks into the owner tables.
+  void finish_insert(pgas::Rank& rank);
+
+  // --- queries (post-construction, read-only) ------------------------------
+  /// nullptr if the canonical form of `m` is absent. Charges a remote
+  /// transfer when the owner is another rank.
+  [[nodiscard]] const KmerInfo* lookup(pgas::Rank& rank,
+                                       const seq::Kmer& canonical) const;
+
+  [[nodiscard]] std::size_t total_distinct() const;
+  /// Iterate every (canonical k-mer, info) pair of one rank's shard.
+  template <typename Fn>
+  void for_each_local(int rank, Fn&& fn) const {
+    for (const auto& [kmer, info] : tables_[static_cast<std::size_t>(rank)])
+      fn(kmer, info);
+  }
+
+  [[nodiscard]] int owner_of(const seq::Kmer& canonical) const noexcept {
+    return static_cast<int>(canonical.djb2() %
+                            static_cast<std::uint64_t>(nranks_));
+  }
+
+ private:
+  struct Entry {
+    seq::Kmer kmer;        // canonical
+    std::uint8_t left = 4;   // extension codes in canonical orientation
+    std::uint8_t right = 4;
+  };
+
+  template <typename Fn>
+  void for_each_read_kmer(std::string_view read, Fn&& fn) const;
+  void apply_entry(int owner, const Entry& e);
+
+  Options opt_;
+  int nranks_;
+  std::vector<std::unordered_map<seq::Kmer, KmerInfo, cache::KmerHasher>>
+      tables_;  // per owner rank
+  std::vector<std::mutex> table_locks_;  // naive-mode concurrent inserts
+  std::vector<dht::LocalSharedStack<Entry>> stacks_;
+  std::deque<pgas::GlobalCounter> incoming_;
+  std::vector<std::vector<std::uint64_t>> pending_counts_;
+  std::vector<std::unique_ptr<dht::AggregatingStore<Entry>>> aggregators_;
+};
+
+}  // namespace mera::dbg

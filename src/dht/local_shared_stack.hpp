@@ -1,0 +1,60 @@
+// Local-shared stacks: the landing zones of the "aggregating stores"
+// optimization (Section III-A, Figure 4).
+//
+// Every rank owns a pre-allocated stack in shared space where *other* ranks
+// deposit batches of hash-table entries destined for it. A writer reserves a
+// disjoint slot range with a global atomic_fetchadd on the owner's stack_ptr
+// (steps (a)+(b) of the paper), then writes the batch with one aggregate
+// one-sided put (step (c)). Because ranges are disjoint, no locks are needed
+// anywhere — this is what makes the resulting hash table lock-free.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "pgas/runtime.hpp"
+
+namespace mera::dht {
+
+template <typename T>
+class LocalSharedStack {
+ public:
+  LocalSharedStack() : stack_ptr_(0) {}
+
+  /// Owner pre-allocates capacity (exact incoming entry count is known from
+  /// the counting pre-pass, so no overflow handling is needed at runtime).
+  void allocate(int owner_rank, std::size_t capacity) {
+    owner_ = owner_rank;
+    storage_.resize(capacity);
+    stack_ptr_.reset(owner_rank, 0);
+  }
+
+  /// Deposit `batch` into this stack (called by any rank). One global atomic
+  /// + one aggregate transfer, regardless of batch size.
+  void push_batch(pgas::Rank& rank, std::span<const T> batch) {
+    if (batch.empty()) return;
+    const std::uint64_t pos = rank.atomic_fetch_add(stack_ptr_, batch.size());
+    if (pos + batch.size() > storage_.size())
+      throw std::logic_error("LocalSharedStack overflow: counting pre-pass "
+                             "and deposits disagree");
+    rank.put(owner_, batch.data(), storage_.data() + pos, batch.size());
+  }
+
+  /// Entries deposited so far. Owner-side, to be called after the barrier
+  /// that ends the deposit phase.
+  [[nodiscard]] std::span<const T> drain_view() const noexcept {
+    return {storage_.data(), stack_ptr_.load_unsync()};
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return storage_.size(); }
+  [[nodiscard]] int owner() const noexcept { return owner_; }
+
+ private:
+  int owner_ = 0;
+  std::vector<T> storage_;
+  pgas::GlobalCounter stack_ptr_;
+};
+
+}  // namespace mera::dht

@@ -1,0 +1,183 @@
+#include "dht/seed_index.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace mera::dht {
+
+namespace {
+std::uint64_t next_pow2(std::uint64_t v) {
+  return std::bit_ceil(std::max<std::uint64_t>(v, 16));
+}
+}  // namespace
+
+SeedIndex::SeedIndex(const pgas::Topology& topo, Options opt)
+    : opt_(opt),
+      nranks_(topo.nranks()),
+      stores_(static_cast<std::size_t>(topo.nranks())),
+      stacks_(static_cast<std::size_t>(topo.nranks())),
+      pending_counts_(static_cast<std::size_t>(topo.nranks()),
+                      std::vector<std::uint64_t>(
+                          static_cast<std::size_t>(topo.nranks()), 0)),
+      aggregators_(static_cast<std::size_t>(topo.nranks())) {
+  if (opt_.k < 1 || opt_.k > seq::kMaxSeedLen)
+    throw std::invalid_argument("SeedIndex: k out of range [1,64]");
+  if (opt_.buffer_S == 0)
+    throw std::invalid_argument("SeedIndex: buffer_S must be >= 1");
+  for (int r = 0; r < nranks_; ++r) incoming_.emplace_back(r, 0);
+}
+
+void SeedIndex::count_seed(pgas::Rank& rank, const seq::Kmer& seed) {
+  ++pending_counts_[static_cast<std::size_t>(rank.id())]
+                   [static_cast<std::size_t>(owner_of(seed))];
+}
+
+void SeedIndex::finish_count(pgas::Rank& rank) {
+  const auto me = static_cast<std::size_t>(rank.id());
+  for (int owner = 0; owner < nranks_; ++owner) {
+    const std::uint64_t c = pending_counts_[me][static_cast<std::size_t>(owner)];
+    if (c != 0)
+      rank.atomic_fetch_add(incoming_[static_cast<std::size_t>(owner)], c);
+  }
+  rank.barrier();
+
+  RankStore& st = stores_[me];
+  const std::uint64_t total_in = incoming_[me].load_unsync();
+  st.pool.resize(total_in);
+  st.next_free.reset(rank.id(), 0);
+  const std::uint64_t nbuckets = next_pow2(total_in * 2);
+  st.heads.assign(nbuckets, 0);
+  st.bucket_mask = nbuckets - 1;
+  if (opt_.aggregating_stores) {
+    stacks_[me].allocate(rank.id(), total_in);
+    aggregators_[me] = std::make_unique<AggregatingStore<SeedEntry>>(
+        nranks_, opt_.buffer_S, stacks_);
+  }
+  rank.barrier();
+}
+
+void SeedIndex::chain_insert_unsync(RankStore& st, const SeedEntry& e,
+                                    std::uint32_t node_idx) {
+  Node& n = st.pool[node_idx];
+  n.entry = e;
+  const std::uint64_t b = e.seed.mixed_hash() & st.bucket_mask;
+  n.next = st.heads[b];
+  st.heads[b] = node_idx + 1;
+}
+
+void SeedIndex::naive_remote_insert(pgas::Rank& rank, int owner,
+                                    const SeedEntry& e) {
+  RankStore& st = stores_[static_cast<std::size_t>(owner)];
+  // One remote lock/slot acquisition + one fine-grained entry store: the
+  // per-seed cost the aggregating optimization divides by S.
+  const std::uint64_t idx = rank.atomic_fetch_add(st.next_free, 1);
+  rank.charge_access(owner, sizeof(SeedEntry));
+  Node& n = st.pool[idx];
+  n.entry = e;
+  const std::uint64_t b = e.seed.mixed_hash() & st.bucket_mask;
+  const std::scoped_lock lk(st.stripes[b % kLockStripes]);
+  n.next = st.heads[b];
+  st.heads[b] = static_cast<std::uint32_t>(idx) + 1;
+}
+
+void SeedIndex::insert(pgas::Rank& rank, const seq::Kmer& seed, SeedHit hit) {
+  const int owner = owner_of(seed);
+  const SeedEntry e{seed, hit};
+  if (opt_.aggregating_stores)
+    aggregators_[static_cast<std::size_t>(rank.id())]->push(rank, owner, e);
+  else
+    naive_remote_insert(rank, owner, e);
+}
+
+void SeedIndex::finish_insert(pgas::Rank& rank) {
+  const auto me = static_cast<std::size_t>(rank.id());
+  if (opt_.aggregating_stores) {
+    aggregators_[me]->flush_all(rank);
+    rank.barrier();
+    // Drain the local-shared stack into local buckets: no communication, no
+    // locks (this is the lock-free payoff of Figure 4).
+    RankStore& st = stores_[me];
+    const auto view = stacks_[me].drain_view();
+    for (const SeedEntry& e : view) {
+      const std::uint64_t idx = st.next_free.load_unsync();
+      st.next_free.store_unsync(idx + 1);
+      chain_insert_unsync(st, e, static_cast<std::uint32_t>(idx));
+      rank.charge_access(rank.id(), sizeof(SeedEntry));  // local op tally
+    }
+  }
+  rank.barrier();
+  build_buckets_and_mark(rank);
+  rank.barrier();
+}
+
+void SeedIndex::build_buckets_and_mark(pgas::Rank& rank) {
+  // Count per-seed occurrences (cheap, local — Section IV-A notes this comes
+  // for free while owners hold their shard) and flag non-unique entries.
+  RankStore& st = stores_[static_cast<std::size_t>(rank.id())];
+  st.distinct = 0;
+  std::vector<std::uint32_t> chain;
+  for (const std::uint32_t head : st.heads) {
+    chain.clear();
+    for (std::uint32_t i = head; i != 0; i = st.pool[i - 1].next)
+      chain.push_back(i - 1);
+    // Chains are short (load factor <= 0.5); quadratic grouping is fine.
+    std::vector<bool> seen(chain.size(), false);
+    for (std::size_t a = 0; a < chain.size(); ++a) {
+      if (seen[a]) continue;
+      st.distinct += 1;
+      std::size_t count = 1;
+      for (std::size_t b = a + 1; b < chain.size(); ++b) {
+        if (!seen[b] &&
+            st.pool[chain[b]].entry.seed == st.pool[chain[a]].entry.seed) {
+          seen[b] = true;
+          ++count;
+        }
+      }
+      if (count > 1) {
+        st.pool[chain[a]].unique = false;
+        for (std::size_t b = a + 1; b < chain.size(); ++b)
+          if (st.pool[chain[b]].entry.seed == st.pool[chain[a]].entry.seed)
+            st.pool[chain[b]].unique = false;
+      }
+    }
+  }
+}
+
+std::size_t SeedIndex::lookup(pgas::Rank& rank, const seq::Kmer& seed,
+                              std::size_t max_hits,
+                              std::vector<SeedHit>& out) const {
+  const int owner = owner_of(seed);
+  const RankStore& st = stores_[static_cast<std::size_t>(owner)];
+  std::size_t total = 0;
+  std::size_t appended = 0;
+  const std::uint64_t b = seed.mixed_hash() & st.bucket_mask;
+  for (std::uint32_t i = st.heads[b]; i != 0; i = st.pool[i - 1].next) {
+    const Node& n = st.pool[i - 1];
+    if (n.entry.seed == seed) {
+      ++total;
+      if (appended < max_hits) {
+        out.push_back(n.entry.hit);
+        ++appended;
+      }
+    }
+  }
+  rank.charge_access(owner, lookup_transfer_bytes(appended));
+  return total;
+}
+
+std::size_t SeedIndex::local_entries(int rank) const {
+  return stores_[static_cast<std::size_t>(rank)].next_free.load_unsync();
+}
+
+std::size_t SeedIndex::local_distinct_seeds(int rank) const {
+  return stores_[static_cast<std::size_t>(rank)].distinct;
+}
+
+std::size_t SeedIndex::total_entries() const {
+  std::size_t n = 0;
+  for (int r = 0; r < nranks_; ++r) n += local_entries(r);
+  return n;
+}
+
+}  // namespace mera::dht

@@ -1,0 +1,149 @@
+// The distributed seed index (Sections II-B and III).
+//
+// A distributed hash table mapping each length-k seed extracted from the
+// target fragments to the list of (fragment, offset) locations it came from.
+// Buckets are partitioned across ranks by djb2(seed) mod nranks — the paper's
+// seed-to-processor map. Construction runs in one of two modes:
+//
+//  * naive        — every seed incurs one fine-grained remote access plus one
+//                   remote lock acquisition (modeled as a global atomic), the
+//                   straw-man the paper starts from;
+//  * aggregating  — per-destination buffers of S entries flushed with one
+//                   atomic_fetchadd + one aggregate transfer into the owner's
+//                   local-shared stack; owners later drain their stacks into
+//                   buckets with *zero* communication and zero locks.
+//
+// Both modes share a counting pre-pass that tells each owner exactly how many
+// entries it will receive (sizes the stack/pool; also what lets the index
+// count seed occurrences for the exact-match optimization of Section IV-A).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "dht/aggregating_store.hpp"
+#include "dht/local_shared_stack.hpp"
+#include "pgas/runtime.hpp"
+#include "seq/kmer.hpp"
+
+namespace mera::dht {
+
+// A seed's location. Mirrors the paper's hash-table value — "a pointer to
+// the target sequence ... we also keep track of the exact offset" — so that
+// one lookup directly yields the candidate target with no extra resolution
+// round-trip. fragment_id additionally identifies the index fragment whose
+// single_copy_seeds flag gates the exact-match fast path.
+struct SeedHit {
+  std::uint32_t fragment_id = 0;  ///< global fragment id (core::TargetStore)
+  std::uint32_t target_id = 0;    ///< global id of the parent target
+  std::uint32_t t_pos = 0;        ///< seed start within the full target
+  friend bool operator==(const SeedHit&, const SeedHit&) = default;
+};
+
+struct SeedEntry {
+  seq::Kmer seed;
+  SeedHit hit;
+};
+
+class SeedIndex {
+ public:
+  struct Options {
+    int k = 51;
+    bool aggregating_stores = true;
+    std::size_t buffer_S = 1000;  ///< aggregation buffer size (paper: 1000)
+  };
+
+  SeedIndex(const pgas::Topology& topo, Options opt);
+  SeedIndex(const SeedIndex&) = delete;
+  SeedIndex& operator=(const SeedIndex&) = delete;
+
+  [[nodiscard]] int k() const noexcept { return opt_.k; }
+  [[nodiscard]] int owner_of(const seq::Kmer& seed) const noexcept {
+    return static_cast<int>(seed.djb2() % static_cast<std::uint64_t>(nranks_));
+  }
+
+  // --- construction (three collective stages) -------------------------------
+
+  /// Stage 1: tally one seed (local, cheap). Call for every local seed.
+  void count_seed(pgas::Rank& rank, const seq::Kmer& seed);
+  /// Stage 1 end: publish counts to owners, allocate stacks/pools (collective).
+  void finish_count(pgas::Rank& rank);
+
+  /// Stage 2: route one entry to its owner (mode-dependent cost).
+  void insert(pgas::Rank& rank, const seq::Kmer& seed, SeedHit hit);
+  /// Stage 2 end: flush buffers, drain stacks, build buckets (collective).
+  void finish_insert(pgas::Rank& rank);
+
+  // --- queries ---------------------------------------------------------------
+
+  /// Look up a seed: appends up to `max_hits` locations to `out` and returns
+  /// the *total* occurrence count of the seed in the index (0 = absent;
+  /// > max_hits means the list was truncated — the Section IV-C threshold).
+  /// Charges one request/response transfer when the owner is remote.
+  std::size_t lookup(pgas::Rank& rank, const seq::Kmer& seed,
+                     std::size_t max_hits, std::vector<SeedHit>& out) const;
+
+  /// Modeled response payload of a lookup that returned `nhits` hits.
+  [[nodiscard]] static std::size_t lookup_transfer_bytes(std::size_t nhits) noexcept {
+    return sizeof(seq::Kmer) + nhits * sizeof(SeedHit);
+  }
+
+  /// Exact-match preprocessing support: for every *local* entry whose seed
+  /// occurs more than once index-wide, invoke fn(hit). Local, post-finalize.
+  template <typename Fn>
+  void for_each_local_duplicate_hit(pgas::Rank& rank, Fn&& fn) const {
+    const auto& st = stores_[static_cast<std::size_t>(rank.id())];
+    for (std::uint32_t head : st.heads) {
+      for (std::uint32_t i = head; i != 0; i = st.pool[i - 1].next) {
+        const Node& n = st.pool[i - 1];
+        if (!n.unique) fn(n.entry.hit);
+      }
+    }
+  }
+
+  // --- diagnostics -----------------------------------------------------------
+
+  [[nodiscard]] std::size_t local_entries(int rank) const;
+  [[nodiscard]] std::size_t local_distinct_seeds(int rank) const;
+  [[nodiscard]] std::size_t total_entries() const;
+
+ private:
+  struct Node {
+    SeedEntry entry;
+    std::uint32_t next = 0;  ///< 1-based chain link; 0 = end
+    bool unique = true;      ///< seed occurs exactly once index-wide
+  };
+
+  static constexpr std::size_t kLockStripes = 256;
+
+  /// Owner-side state for the rank's shard of the table.
+  struct RankStore {
+    std::vector<std::uint32_t> heads;  ///< 1-based indices into pool
+    std::vector<Node> pool;
+    pgas::GlobalCounter next_free;  ///< slot allocator; the naive-mode "lock"
+    std::array<std::mutex, kLockStripes> stripes;  ///< naive bucket protection
+    std::uint64_t bucket_mask = 0;
+    std::size_t distinct = 0;
+  };
+
+  void naive_remote_insert(pgas::Rank& rank, int owner, const SeedEntry& e);
+  static void chain_insert_unsync(RankStore& st, const SeedEntry& e,
+                                  std::uint32_t node_idx);
+  void build_buckets_and_mark(pgas::Rank& rank);
+
+  Options opt_;
+  int nranks_;
+  std::vector<RankStore> stores_;                    // per rank
+  std::vector<LocalSharedStack<SeedEntry>> stacks_;  // per rank (agg mode)
+  // deque: GlobalCounter is immovable (atomic member); deque constructs in place
+  std::deque<pgas::GlobalCounter> incoming_;         // per rank entry counts
+  // Construction-time per-caller state, indexed by rank id.
+  std::vector<std::vector<std::uint64_t>> pending_counts_;
+  std::vector<std::unique_ptr<AggregatingStore<SeedEntry>>> aggregators_;
+};
+
+}  // namespace mera::dht

@@ -1,0 +1,107 @@
+// Collective operations over the SPMD runtime (UPC's upc_all_* analogues).
+//
+// Implemented rank-0-rooted over shared memory with cost accounting: each
+// contribution/distribution is one one-sided transfer, so a collective over
+// p ranks charges O(p) messages to the model, matching what a flat
+// (non-tree) UPC collective costs. Every call is collective: all ranks must
+// reach it with compatible arguments, and the result is returned on every
+// rank.
+#pragma once
+
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "pgas/runtime.hpp"
+
+namespace mera::pgas {
+
+/// Scratch space for collectives; one instance shared by all ranks, created
+/// before Runtime::run(). Reusable across calls (internally double-buffered
+/// by phase parity).
+template <typename T>
+class CollectiveSpace {
+ public:
+  explicit CollectiveSpace(int nranks)
+      : nranks_(nranks),
+        slots_(static_cast<std::size_t>(nranks)),
+        result_(static_cast<std::size_t>(nranks)) {}
+
+  /// All-reduce: every rank contributes `value`; returns op-fold over all
+  /// contributions on every rank. `op` must be associative+commutative.
+  T all_reduce(Rank& rank, T value, const std::function<T(T, T)>& op) {
+    const auto me = static_cast<std::size_t>(rank.id());
+    rank.put(0, &value, &slots_[me], 1);  // contribute to rank 0's segment
+    rank.barrier();
+    if (rank.id() == 0) {
+      T acc = slots_[0];
+      for (int r = 1; r < nranks_; ++r)
+        acc = op(acc, slots_[static_cast<std::size_t>(r)]);
+      result_[0] = acc;
+    }
+    rank.barrier();
+    T out;
+    rank.get(0, &result_[0], &out, 1);  // everyone pulls the reduction
+    rank.barrier();
+    return out;
+  }
+
+  T all_reduce_sum(Rank& rank, T value) {
+    return all_reduce(rank, value, [](T a, T b) { return a + b; });
+  }
+  T all_reduce_max(Rank& rank, T value) {
+    return all_reduce(rank, value, [](T a, T b) { return a < b ? b : a; });
+  }
+
+  /// Exclusive prefix sum: rank r receives sum of values of ranks < r.
+  /// (What TargetStore needs to assign blocked global ids.)
+  T exclusive_scan(Rank& rank, T value) {
+    const auto me = static_cast<std::size_t>(rank.id());
+    rank.put(0, &value, &slots_[me], 1);
+    rank.barrier();
+    if (rank.id() == 0) {
+      T acc{};
+      for (int r = 0; r < nranks_; ++r) {
+        const auto ri = static_cast<std::size_t>(r);
+        result_[ri] = acc;
+        acc = acc + slots_[ri];
+      }
+    }
+    rank.barrier();
+    T out;
+    rank.get(0, &result_[me], &out, 1);
+    rank.barrier();
+    return out;
+  }
+
+  /// Broadcast from `root`: every rank returns root's value.
+  T broadcast(Rank& rank, T value, int root) {
+    if (rank.id() == root) slots_[static_cast<std::size_t>(root)] = value;
+    rank.barrier();
+    T out;
+    rank.get(root, &slots_[static_cast<std::size_t>(root)], &out, 1);
+    rank.barrier();
+    return out;
+  }
+
+  /// All-gather: returns the vector of every rank's value (index = rank).
+  std::vector<T> all_gather(Rank& rank, T value) {
+    const auto me = static_cast<std::size_t>(rank.id());
+    slots_[me] = value;  // own slot: local store
+    rank.charge_access(rank.id(), sizeof(T));
+    rank.barrier();
+    std::vector<T> out(static_cast<std::size_t>(nranks_));
+    for (int r = 0; r < nranks_; ++r)
+      rank.get(r, &slots_[static_cast<std::size_t>(r)],
+               &out[static_cast<std::size_t>(r)], 1);
+    rank.barrier();
+    return out;
+  }
+
+ private:
+  int nranks_;
+  std::vector<T> slots_;
+  std::vector<T> result_;
+};
+
+}  // namespace mera::pgas

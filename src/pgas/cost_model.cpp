@@ -1,0 +1,7 @@
+#include "pgas/cost_model.hpp"
+
+// CostModel and CommStats are header-only; this TU exists so the module has a
+// stable object file for the archive and a place for future out-of-line code.
+namespace mera::pgas {
+static_assert(sizeof(CommStats) > 0);
+}  // namespace mera::pgas

@@ -1,0 +1,119 @@
+#include "pgas/phase_timer.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+namespace mera::pgas {
+
+namespace {
+double vec_max(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+}
+double vec_min(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::min_element(v.begin(), v.end());
+}
+double vec_avg(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+}  // namespace
+
+double PhaseEntry::time_s() const { return total_max(); }
+double PhaseEntry::cpu_max() const { return vec_max(cpu_s); }
+double PhaseEntry::cpu_min() const { return vec_min(cpu_s); }
+double PhaseEntry::cpu_avg() const { return vec_avg(cpu_s); }
+double PhaseEntry::comm_max() const { return vec_max(comm_s); }
+
+double PhaseEntry::total_max() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < cpu_s.size(); ++i)
+    m = std::max(m, cpu_s[i] + comm_s[i]);
+  return m;
+}
+double PhaseEntry::total_min() const {
+  if (cpu_s.empty()) return 0.0;
+  double m = cpu_s[0] + comm_s[0];
+  for (std::size_t i = 1; i < cpu_s.size(); ++i)
+    m = std::min(m, cpu_s[i] + comm_s[i]);
+  return m;
+}
+double PhaseEntry::total_avg() const {
+  if (cpu_s.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < cpu_s.size(); ++i) s += cpu_s[i] + comm_s[i];
+  return s / static_cast<double>(cpu_s.size());
+}
+
+double PhaseReport::total_time_s() const {
+  double t = 0.0;
+  for (const auto& p : phases) t += p.time_s();
+  return t;
+}
+
+double PhaseReport::time_of(std::string_view name) const {
+  double t = 0.0;
+  for (const auto& p : phases)
+    if (p.name == name) t += p.time_s();
+  return t;
+}
+
+const PhaseEntry* PhaseReport::find(std::string_view name) const {
+  for (const auto& p : phases)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+CommStats PhaseReport::total_traffic() const {
+  CommStats s;
+  for (const auto& p : phases) s += p.traffic;
+  return s;
+}
+
+void PhaseReport::print(std::ostream& os) const {
+  os << std::left << std::setw(26) << "phase" << std::right << std::setw(12)
+     << "time(s)" << std::setw(12) << "cpu_max" << std::setw(12) << "comm_max"
+     << std::setw(12) << "net_msgs" << std::setw(14) << "net_MB" << '\n';
+  for (const auto& p : phases) {
+    os << std::left << std::setw(26) << p.name << std::right << std::fixed
+       << std::setprecision(4) << std::setw(12) << p.time_s() << std::setw(12)
+       << p.cpu_max() << std::setw(12) << p.comm_max() << std::setw(12)
+       << p.traffic.net_msgs << std::setw(14)
+       << static_cast<double>(p.traffic.net_bytes) / 1e6 << '\n';
+  }
+  os << std::left << std::setw(26) << "TOTAL" << std::right << std::setw(12)
+     << total_time_s() << '\n';
+  os.unsetf(std::ios::fixed);
+}
+
+PhaseReport merge_phase_samples(
+    const std::vector<std::vector<PhaseSample>>& per_rank) {
+  PhaseReport rep;
+  if (per_rank.empty()) return rep;
+  const std::size_t nphases = per_rank[0].size();
+  for (const auto& r : per_rank)
+    if (r.size() != nphases)
+      throw std::logic_error(
+          "merge_phase_samples: ranks recorded different phase counts "
+          "(collective phase() calls must match on every rank)");
+  rep.phases.resize(nphases);
+  for (std::size_t ph = 0; ph < nphases; ++ph) {
+    PhaseEntry& e = rep.phases[ph];
+    e.name = per_rank[0][ph].name;
+    e.cpu_s.reserve(per_rank.size());
+    e.comm_s.reserve(per_rank.size());
+    for (const auto& r : per_rank) {
+      if (r[ph].name != e.name)
+        throw std::logic_error("merge_phase_samples: phase name mismatch: '" +
+                               e.name + "' vs '" + r[ph].name + "'");
+      e.cpu_s.push_back(r[ph].cpu_s);
+      e.comm_s.push_back(r[ph].comm.comm_time_s);
+      e.traffic += r[ph].comm;
+    }
+  }
+  return rep;
+}
+
+}  // namespace mera::pgas

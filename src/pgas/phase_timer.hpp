@@ -1,0 +1,73 @@
+// Per-phase, per-rank time accounting.
+//
+// An SPMD program is split into barrier-delimited phases ("io", "index
+// construction", "alignment", ...). For each phase every rank records its
+// *compute* time (thread CPU time — immune to oversubscription of the single
+// physical core) and its *communication* time (modeled by CostModel). The
+// simulated parallel runtime of a phase is max over ranks of (cpu + comm),
+// and the end-to-end time is the sum over phases — exactly how a
+// bulk-synchronous execution would unfold on a real machine.
+#pragma once
+
+#include <ctime>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pgas/cost_model.hpp"
+
+namespace mera::pgas {
+
+/// CPU time consumed by the calling thread, in seconds.
+[[nodiscard]] inline double thread_cpu_seconds() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+/// One rank's record for one phase.
+struct PhaseSample {
+  std::string name;
+  double cpu_s = 0.0;
+  CommStats comm;  ///< traffic issued during the phase (comm.comm_time_s = modeled time)
+};
+
+/// Aggregated view of one phase across all ranks.
+struct PhaseEntry {
+  std::string name;
+  std::vector<double> cpu_s;   ///< per rank
+  std::vector<double> comm_s;  ///< per rank, modeled
+  CommStats traffic;           ///< summed over ranks
+
+  /// Simulated parallel time of the phase: slowest rank's cpu + comm.
+  [[nodiscard]] double time_s() const;
+  [[nodiscard]] double cpu_max() const;
+  [[nodiscard]] double cpu_min() const;
+  [[nodiscard]] double cpu_avg() const;
+  [[nodiscard]] double comm_max() const;
+  [[nodiscard]] double total_max() const;  ///< max_r (cpu_r + comm_r)
+  [[nodiscard]] double total_min() const;
+  [[nodiscard]] double total_avg() const;
+};
+
+/// Full report of a Runtime::run() execution.
+struct PhaseReport {
+  std::vector<PhaseEntry> phases;
+
+  /// Sum of per-phase simulated times (bulk-synchronous end-to-end time).
+  [[nodiscard]] double total_time_s() const;
+  /// Sum of the matching phases' times; empty `names` means all.
+  [[nodiscard]] double time_of(std::string_view name) const;
+  [[nodiscard]] const PhaseEntry* find(std::string_view name) const;
+  [[nodiscard]] CommStats total_traffic() const;
+
+  void print(std::ostream& os) const;
+};
+
+/// Builds a PhaseReport out of per-rank sample streams (all ranks must have
+/// recorded the same phase sequence; names are taken from rank 0).
+[[nodiscard]] PhaseReport merge_phase_samples(
+    const std::vector<std::vector<PhaseSample>>& per_rank);
+
+}  // namespace mera::pgas

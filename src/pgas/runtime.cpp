@@ -1,0 +1,119 @@
+#include "pgas/runtime.hpp"
+
+#include <thread>
+
+namespace mera::pgas {
+
+// ---------------------------------------------------------------------------
+// Rank
+// ---------------------------------------------------------------------------
+
+int Rank::node() const noexcept { return rt_->topo().node_of(id_); }
+int Rank::nranks() const noexcept { return rt_->nranks(); }
+const Topology& Rank::topo() const noexcept { return rt_->topo(); }
+const CostModel& Rank::cost_model() const noexcept { return rt_->cost_model(); }
+
+void Rank::barrier() { rt_->barrier_.arrive_and_wait(); }
+
+void Rank::begin_execution() {
+  cpu_origin_ = thread_cpu_seconds();
+  phase_cpu_origin_ = cpu_origin_;
+  phase_stats_origin_ = stats_;
+  current_phase_ = "startup";
+  samples_.clear();
+}
+
+void Rank::close_phase() {
+  PhaseSample s;
+  s.name = current_phase_;
+  s.cpu_s = thread_cpu_seconds() - phase_cpu_origin_;
+  s.comm = stats_ - phase_stats_origin_;
+  samples_.push_back(std::move(s));
+}
+
+void Rank::phase(std::string_view name) {
+  close_phase();
+  barrier();
+  phase_cpu_origin_ = thread_cpu_seconds();
+  phase_stats_origin_ = stats_;
+  current_phase_.assign(name);
+}
+
+void Rank::charge_access(int owner, std::size_t bytes) {
+  if (owner == id_) {
+    ++stats_.local_ops;
+    return;
+  }
+  const bool off_node = !rt_->topo().same_node(owner, id_);
+  if (off_node) {
+    ++stats_.net_msgs;
+    stats_.net_bytes += bytes;
+  } else {
+    ++stats_.node_msgs;
+    stats_.node_bytes += bytes;
+  }
+  stats_.comm_time_s += rt_->cost_model().transfer_time(off_node, bytes);
+}
+
+void Rank::charge_time(double seconds) { stats_.comm_time_s += seconds; }
+
+std::uint64_t Rank::atomic_fetch_add(GlobalCounter& c, std::uint64_t delta) {
+  ++stats_.atomics;
+  const bool off_node = !rt_->topo().same_node(c.owner(), id_);
+  if (c.owner() != id_)
+    stats_.comm_time_s += rt_->cost_model().atomic_time(off_node);
+  return c.value_.fetch_add(delta, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(Topology topo, CostModel model)
+    : topo_(topo), model_(model), barrier_(topo.nranks()) {}
+
+void Runtime::run(const std::function<void(Rank&)>& body) {
+  samples_.assign(static_cast<std::size_t>(nranks()), {});
+  report_ = PhaseReport{};
+  first_error_ = nullptr;
+
+  auto rank_main = [&](int id) {
+    Rank rank(*this, id);
+    rank.begin_execution();
+    try {
+      body(rank);
+      rank.close_phase();
+    } catch (...) {
+      {
+        const std::scoped_lock lk(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      // Drop out of the barrier group so surviving ranks don't deadlock on
+      // collectives this rank will never reach again.
+      barrier_.arrive_and_drop();
+      return;
+    }
+    samples_[static_cast<std::size_t>(id)] = std::move(rank.samples_);
+  };
+
+  if (nranks() == 1) {
+    rank_main(0);  // run inline: easier to debug, nothing to synchronize with
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks()));
+    for (int r = 0; r < nranks(); ++r) threads.emplace_back(rank_main, r);
+    for (auto& t : threads) t.join();
+  }
+
+  if (first_error_) std::rethrow_exception(first_error_);
+  report_ = merge_phase_samples(samples_);
+}
+
+PhaseReport spmd(int nranks, int ppn, const std::function<void(Rank&)>& body,
+                 CostModel model) {
+  Runtime rt(Topology(nranks, ppn), model);
+  rt.run(body);
+  return rt.report();
+}
+
+}  // namespace mera::pgas

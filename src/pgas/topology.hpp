@@ -1,0 +1,49 @@
+// Rank/node topology for the simulated PGAS machine.
+//
+// The paper runs on a Cray XC30 with 24 cores (UPC threads) per node; the
+// node boundary matters because (a) off-node one-sided ops are much more
+// expensive than same-node ones and (b) the software caches of Section III-B
+// are *node-level* resources shared by the ppn ranks of a node.
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mera::pgas {
+
+/// Maps ranks onto simulated nodes: ranks [0, ppn) are node 0, etc.
+class Topology {
+ public:
+  Topology(int nranks, int ranks_per_node)
+      : nranks_(nranks), ppn_(ranks_per_node) {
+    if (nranks < 1) throw std::invalid_argument("Topology: nranks must be >= 1");
+    if (ranks_per_node < 1)
+      throw std::invalid_argument("Topology: ranks_per_node must be >= 1");
+  }
+
+  [[nodiscard]] int nranks() const noexcept { return nranks_; }
+  [[nodiscard]] int ppn() const noexcept { return ppn_; }
+  [[nodiscard]] int nnodes() const noexcept {
+    return (nranks_ + ppn_ - 1) / ppn_;
+  }
+
+  [[nodiscard]] int node_of(int rank) const noexcept {
+    assert(rank >= 0 && rank < nranks_);
+    return rank / ppn_;
+  }
+
+  [[nodiscard]] bool same_node(int a, int b) const noexcept {
+    return node_of(a) == node_of(b);
+  }
+
+  /// First rank of a node (the "node leader" owns node-level caches).
+  [[nodiscard]] int leader_of_node(int node) const noexcept {
+    return node * ppn_;
+  }
+
+ private:
+  int nranks_;
+  int ppn_;
+};
+
+}  // namespace mera::pgas

@@ -1,0 +1,19 @@
+#include "seq/dna.hpp"
+
+#include <algorithm>
+
+namespace mera::seq {
+
+bool is_valid_dna(std::string_view s) noexcept {
+  return std::all_of(s.begin(), s.end(),
+                     [](char c) { return encode_base(c) != kInvalidBase; });
+}
+
+std::string reverse_complement(std::string_view s) {
+  std::string out(s.size(), '\0');
+  for (std::size_t i = 0; i < s.size(); ++i)
+    out[s.size() - 1 - i] = complement_base(s[i]);
+  return out;
+}
+
+}  // namespace mera::seq

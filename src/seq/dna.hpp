@@ -1,0 +1,48 @@
+// 2-bit DNA alphabet coding (Section V-C of the paper: sequences are packed
+// two bits per base, cutting memory footprint and communication volume 4x).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mera::seq {
+
+/// Code for an invalid / ambiguous base (e.g. 'N').
+inline constexpr std::uint8_t kInvalidBase = 4;
+
+/// 'A'->0 'C'->1 'G'->2 'T'->3 (case-insensitive), anything else -> 4.
+[[nodiscard]] constexpr std::uint8_t encode_base(char c) noexcept {
+  switch (c) {
+    case 'A': case 'a': return 0;
+    case 'C': case 'c': return 1;
+    case 'G': case 'g': return 2;
+    case 'T': case 't': return 3;
+    default: return kInvalidBase;
+  }
+}
+
+/// Inverse of encode_base for valid codes; code 4 decodes to 'N'.
+[[nodiscard]] constexpr char decode_base(std::uint8_t code) noexcept {
+  constexpr std::array<char, 5> kBases{'A', 'C', 'G', 'T', 'N'};
+  return kBases[code <= 4 ? code : 4];
+}
+
+/// Complement of a 2-bit code (A<->T, C<->G): code ^ 3.
+[[nodiscard]] constexpr std::uint8_t complement_code(std::uint8_t code) noexcept {
+  return code == kInvalidBase ? kInvalidBase
+                              : static_cast<std::uint8_t>(code ^ 3u);
+}
+
+[[nodiscard]] constexpr char complement_base(char c) noexcept {
+  return decode_base(complement_code(encode_base(c)));
+}
+
+/// True iff every character of `s` is one of ACGTacgt.
+[[nodiscard]] bool is_valid_dna(std::string_view s) noexcept;
+
+/// Reverse complement of an ASCII DNA string ('N' maps to 'N').
+[[nodiscard]] std::string reverse_complement(std::string_view s);
+
+}  // namespace mera::seq

@@ -1,0 +1,99 @@
+#include "seq/fasta.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mera::seq {
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+/// Offset of the first FASTA header ('>' at line start) at or after `pos`.
+std::size_t next_header(std::string_view text, std::size_t pos) {
+  if (pos >= text.size()) return text.size();
+  if (pos == 0) {
+    if (text[0] == '>') return 0;
+  } else if (text[pos - 1] == '\n' && text[pos] == '>') {
+    return pos;
+  }
+  std::size_t scan = pos;
+  for (;;) {
+    const std::size_t nl = text.find('\n', scan);
+    if (nl == std::string_view::npos || nl + 1 >= text.size())
+      return text.size();
+    if (text[nl + 1] == '>') return nl + 1;
+    scan = nl + 1;
+  }
+}
+
+/// Parse records whose header offset lies in [lo, hi).
+std::vector<SeqRecord> parse_fasta_range(std::string_view text, std::size_t lo,
+                                         std::size_t hi) {
+  std::vector<SeqRecord> out;
+  std::size_t pos = next_header(text, lo);
+  while (pos < hi && pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    SeqRecord rec;
+    rec.name = std::string(text.substr(pos + 1, eol - pos - 1));
+    // Trim trailing CR and anything after first whitespace.
+    if (auto sp = rec.name.find_first_of(" \t\r"); sp != std::string::npos)
+      rec.name.resize(sp);
+    std::size_t p = eol + 1;
+    while (p < text.size() && text[p] != '>') {
+      std::size_t e = text.find('\n', p);
+      if (e == std::string_view::npos) e = text.size();
+      std::size_t len = e - p;
+      while (len > 0 && (text[p + len - 1] == '\r')) --len;
+      rec.seq.append(text.substr(p, len));
+      p = e + 1;
+    }
+    out.push_back(std::move(rec));
+    pos = p;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SeqRecord> parse_fasta(std::string_view text) {
+  return parse_fasta_range(text, 0, text.size());
+}
+
+std::vector<SeqRecord> read_fasta(const std::string& path) {
+  return parse_fasta(slurp(path));
+}
+
+void write_fasta(const std::string& path, const std::vector<SeqRecord>& recs,
+                 std::size_t line_width) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  for (const auto& r : recs) {
+    out << '>' << r.name << '\n';
+    for (std::size_t i = 0; i < r.seq.size(); i += line_width)
+      out << std::string_view(r.seq).substr(i, line_width) << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<SeqRecord> read_fasta_partition(const std::string& path, int rank,
+                                            int nranks) {
+  if (rank < 0 || nranks < 1 || rank >= nranks)
+    throw std::invalid_argument("read_fasta_partition: bad rank/nranks");
+  const std::string text = slurp(path);
+  const std::size_t lo = text.size() * static_cast<std::size_t>(rank) /
+                         static_cast<std::size_t>(nranks);
+  const std::size_t hi = text.size() * static_cast<std::size_t>(rank + 1) /
+                         static_cast<std::size_t>(nranks);
+  return parse_fasta_range(text, lo, hi);
+}
+
+}  // namespace mera::seq

@@ -1,0 +1,33 @@
+// Minimal FASTA reader/writer (targets/contigs are distributed as FASTA in
+// the Meraculous pipeline the paper plugs into).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mera::seq {
+
+struct SeqRecord {
+  std::string name;
+  std::string seq;
+  std::string qual;  ///< empty for FASTA records
+
+  friend bool operator==(const SeqRecord&, const SeqRecord&) = default;
+};
+
+/// Parse FASTA text (">name\nSEQ..." records, sequences may be line-wrapped).
+[[nodiscard]] std::vector<SeqRecord> parse_fasta(std::string_view text);
+
+[[nodiscard]] std::vector<SeqRecord> read_fasta(const std::string& path);
+
+void write_fasta(const std::string& path, const std::vector<SeqRecord>& recs,
+                 std::size_t line_width = 80);
+
+/// Byte-partitioned parallel read: rank r of n parses only the records whose
+/// header byte lies in its slice of the file. Every record is parsed by
+/// exactly one rank; the union over ranks is the whole file.
+[[nodiscard]] std::vector<SeqRecord> read_fasta_partition(
+    const std::string& path, int rank, int nranks);
+
+}  // namespace mera::seq

@@ -1,0 +1,113 @@
+#include "seq/fastq.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mera::seq {
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+/// [begin, end) of the line starting at `pos` (end excludes '\n').
+std::pair<std::size_t, std::size_t> line_at(std::string_view text,
+                                            std::size_t pos) {
+  std::size_t e = text.find('\n', pos);
+  if (e == std::string_view::npos) e = text.size();
+  std::size_t end = e;
+  while (end > pos && text[end - 1] == '\r') --end;
+  return {pos, end};
+}
+
+std::size_t line_after(std::string_view text, std::size_t pos) {
+  const std::size_t e = text.find('\n', pos);
+  return e == std::string_view::npos ? text.size() : e + 1;
+}
+
+bool is_record_start(std::string_view text, std::size_t pos) {
+  if (pos >= text.size() || text[pos] != '@') return false;
+  const std::size_t plus_line = line_after(text, line_after(text, pos));
+  return plus_line < text.size() && text[plus_line] == '+';
+}
+
+std::vector<SeqRecord> parse_fastq_range(std::string_view text, std::size_t lo,
+                                         std::size_t hi) {
+  std::vector<SeqRecord> out;
+  std::size_t pos = fastq_next_record(text, lo);
+  while (pos < hi && pos < text.size()) {
+    auto [h0, h1] = line_at(text, pos);
+    SeqRecord rec;
+    rec.name = std::string(text.substr(h0 + 1, h1 - h0 - 1));
+    if (auto sp = rec.name.find_first_of(" \t"); sp != std::string::npos)
+      rec.name.resize(sp);
+    std::size_t p = line_after(text, pos);
+    auto [s0, s1] = line_at(text, p);
+    rec.seq = std::string(text.substr(s0, s1 - s0));
+    p = line_after(text, p);  // '+' line
+    p = line_after(text, p);
+    auto [q0, q1] = line_at(text, p);
+    rec.qual = std::string(text.substr(q0, q1 - q0));
+    if (rec.qual.size() != rec.seq.size())
+      throw std::runtime_error("FASTQ parse error: quality length mismatch at record '" +
+                               rec.name + "'");
+    out.push_back(std::move(rec));
+    pos = line_after(text, p);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t fastq_next_record(std::string_view text, std::size_t pos) {
+  if (pos == 0 && is_record_start(text, 0)) return 0;
+  std::size_t scan = pos == 0 ? 0 : pos - 1;
+  for (;;) {
+    const std::size_t nl = text.find('\n', scan);
+    if (nl == std::string_view::npos || nl + 1 >= text.size())
+      return text.size();
+    if (nl + 1 >= pos && is_record_start(text, nl + 1)) return nl + 1;
+    scan = nl + 1;
+  }
+}
+
+std::vector<SeqRecord> parse_fastq(std::string_view text) {
+  return parse_fastq_range(text, 0, text.size());
+}
+
+std::vector<SeqRecord> read_fastq(const std::string& path) {
+  return parse_fastq(slurp(path));
+}
+
+void write_fastq(const std::string& path, const std::vector<SeqRecord>& recs) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  for (const auto& r : recs) {
+    out << '@' << r.name << '\n' << r.seq << "\n+\n";
+    if (r.qual.size() == r.seq.size())
+      out << r.qual << '\n';
+    else
+      out << std::string(r.seq.size(), 'I') << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<SeqRecord> read_fastq_partition(const std::string& path, int rank,
+                                            int nranks) {
+  if (rank < 0 || nranks < 1 || rank >= nranks)
+    throw std::invalid_argument("read_fastq_partition: bad rank/nranks");
+  const std::string text = slurp(path);
+  const std::size_t lo = text.size() * static_cast<std::size_t>(rank) /
+                         static_cast<std::size_t>(nranks);
+  const std::size_t hi = text.size() * static_cast<std::size_t>(rank + 1) /
+                         static_cast<std::size_t>(nranks);
+  return parse_fastq_range(text, lo, hi);
+}
+
+}  // namespace mera::seq

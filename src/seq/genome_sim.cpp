@@ -1,0 +1,85 @@
+#include "seq/genome_sim.hpp"
+
+#include <random>
+#include <stdexcept>
+
+#include "seq/dna.hpp"
+
+namespace mera::seq {
+
+std::string simulate_genome(const GenomeParams& p) {
+  if (p.length == 0) return {};
+  std::mt19937_64 rng(p.rng_seed);
+  std::uniform_int_distribution<int> base(0, 3);
+
+  std::string g(p.length, 'A');
+  for (auto& c : g) c = decode_base(static_cast<std::uint8_t>(base(rng)));
+
+  // Paste near-identical copies of a few repeat-family units until the
+  // requested fraction of the genome is repeat-covered.
+  if (p.repeat_fraction > 0 && p.repeat_families > 0 &&
+      p.repeat_unit_len > 0 && p.length > p.repeat_unit_len) {
+    std::vector<std::string> families;
+    families.reserve(static_cast<std::size_t>(p.repeat_families));
+    std::uniform_int_distribution<std::size_t> pos_dist(
+        0, p.length - p.repeat_unit_len - 1);
+    for (int f = 0; f < p.repeat_families; ++f)
+      families.push_back(g.substr(pos_dist(rng), p.repeat_unit_len));
+
+    const auto target_bases =
+        static_cast<std::size_t>(p.repeat_fraction * static_cast<double>(p.length));
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    std::size_t pasted = 0;
+    while (pasted + p.repeat_unit_len <= target_bases) {
+      const auto& fam =
+          families[rng() % static_cast<std::size_t>(p.repeat_families)];
+      const std::size_t at = pos_dist(rng);
+      for (std::size_t i = 0; i < fam.size(); ++i) {
+        char c = fam[i];
+        if (unit(rng) < p.repeat_divergence)
+          c = decode_base(static_cast<std::uint8_t>(base(rng)));
+        g[at + i] = c;
+      }
+      pasted += p.repeat_unit_len;
+    }
+  }
+  return g;
+}
+
+std::vector<SeqRecord> chop_into_contigs(std::string_view genome,
+                                         const ContigParams& p) {
+  if (p.min_len == 0 || p.min_len > p.max_len)
+    throw std::invalid_argument("chop_into_contigs: bad contig length range");
+  std::mt19937_64 rng(p.rng_seed);
+  std::uniform_int_distribution<std::size_t> len_dist(p.min_len, p.max_len);
+  std::uniform_int_distribution<std::size_t> gap_dist(p.gap_min, p.gap_max);
+
+  std::vector<SeqRecord> contigs;
+  std::size_t pos = 0;
+  std::size_t idx = 0;
+  while (pos < genome.size()) {
+    std::size_t len = std::min(len_dist(rng), genome.size() - pos);
+    if (len < p.min_len && !contigs.empty()) break;  // drop a too-short tail
+    SeqRecord rec;
+    rec.name = "contig" + std::to_string(idx++) + ":" + std::to_string(pos) +
+               "-" + std::to_string(pos + len);
+    rec.seq = std::string(genome.substr(pos, len));
+    contigs.push_back(std::move(rec));
+    pos += len + gap_dist(rng);
+  }
+  return contigs;
+}
+
+ContigTruth parse_contig_truth(std::string_view contig_name) {
+  const auto colon = contig_name.rfind(':');
+  const auto dash = contig_name.rfind('-');
+  if (colon == std::string_view::npos || dash == std::string_view::npos ||
+      dash < colon)
+    throw std::invalid_argument("parse_contig_truth: name lacks ':start-end'");
+  ContigTruth t;
+  t.start = std::stoull(std::string(contig_name.substr(colon + 1, dash - colon - 1)));
+  t.end = std::stoull(std::string(contig_name.substr(dash + 1)));
+  return t;
+}
+
+}  // namespace mera::seq

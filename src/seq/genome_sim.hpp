@@ -1,0 +1,55 @@
+// Synthetic genome + contig generator.
+//
+// Stand-in for the paper's real datasets (human NA12878, wheat W7984,
+// E. coli K-12): a random genome with controllable *repeat content* — repeats
+// are what create multi-target seeds, defeat the exact-match optimization and
+// trigger the max-alignments-per-seed threshold — chopped into Meraculous-like
+// contigs (the targets reads are aligned onto during scaffolding).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/fasta.hpp"  // SeqRecord
+
+namespace mera::seq {
+
+struct GenomeParams {
+  std::size_t length = 1'000'000;
+  /// Fraction of the genome covered by copies of repeat-family units.
+  double repeat_fraction = 0.05;
+  std::size_t repeat_unit_len = 400;
+  int repeat_families = 4;
+  /// Per-base substitution rate applied to each pasted repeat copy, so
+  /// copies are near-identical rather than exact (as in real genomes).
+  double repeat_divergence = 0.01;
+  std::uint64_t rng_seed = 1;
+};
+
+[[nodiscard]] std::string simulate_genome(const GenomeParams& p);
+
+struct ContigParams {
+  std::size_t min_len = 800;
+  std::size_t max_len = 5000;
+  /// Unassembled gap between consecutive contigs (bases lost from the genome).
+  std::size_t gap_min = 0;
+  std::size_t gap_max = 150;
+  std::uint64_t rng_seed = 2;
+};
+
+/// Chop a genome into contigs as a de novo assembler would produce them.
+/// Contig names encode their genome interval ("contig<i>:<start>-<end>")
+/// so tests can check alignments against ground truth.
+[[nodiscard]] std::vector<SeqRecord> chop_into_contigs(std::string_view genome,
+                                                       const ContigParams& p);
+
+/// Genome coordinates encoded in a contig name produced by chop_into_contigs.
+struct ContigTruth {
+  std::size_t start = 0;
+  std::size_t end = 0;
+};
+[[nodiscard]] ContigTruth parse_contig_truth(std::string_view contig_name);
+
+}  // namespace mera::seq

@@ -1,0 +1,168 @@
+// Fixed-size seeds (k-mers), k <= 64, packed 2 bits/base into two words.
+//
+// The paper uses k = 51 for human/wheat (the Meraculous scaffolding seed
+// length) and k = 19 for E. coli. Seeds are the keys of the distributed seed
+// index; the seed-to-processor map uses the djb2 hash, which the paper credits
+// for its near-perfect balance of distinct seeds per processor.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "seq/dna.hpp"
+#include "seq/packed_seq.hpp"
+
+namespace mera::seq {
+
+inline constexpr int kMaxSeedLen = 64;
+
+class Kmer {
+ public:
+  Kmer() = default;
+
+  [[nodiscard]] int k() const noexcept { return k_; }
+
+  [[nodiscard]] std::uint8_t code_at(int i) const noexcept {
+    return (w_[static_cast<std::size_t>(i) >> 5] >> ((i & 31) * 2)) & 3u;
+  }
+
+  /// Build from ASCII; nullopt if any base is not ACGT or s.size() > 64.
+  static std::optional<Kmer> from_ascii(std::string_view s) noexcept {
+    if (s.size() > kMaxSeedLen || s.empty()) return std::nullopt;
+    Kmer m;
+    m.k_ = static_cast<int>(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const std::uint8_t c = encode_base(s[i]);
+      if (c == kInvalidBase) return std::nullopt;
+      m.set_code(static_cast<int>(i), c);
+    }
+    return m;
+  }
+
+  /// Build from a window of an (all-valid) packed sequence.
+  static Kmer from_packed(const PackedSeq& s, std::size_t pos, int k) {
+    Kmer m;
+    m.k_ = k;
+    for (int i = 0; i < k; ++i)
+      m.set_code(i, s.code_at(pos + static_cast<std::size_t>(i)));
+    return m;
+  }
+
+  /// Rolling update: drop the front base, append `code` at the back.
+  /// Enables O(1)-per-window seed extraction over a target sequence.
+  void roll(std::uint8_t code) noexcept {
+    w_[0] = (w_[0] >> 2) | (w_[1] & 3u) << 62;
+    w_[1] >>= 2;
+    set_code(k_ - 1, code);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s(static_cast<std::size_t>(k_), '\0');
+    for (int i = 0; i < k_; ++i)
+      s[static_cast<std::size_t>(i)] = decode_base(code_at(i));
+    return s;
+  }
+
+  [[nodiscard]] Kmer reverse_complement() const noexcept {
+    Kmer m;
+    m.k_ = k_;
+    for (int i = 0; i < k_; ++i)
+      m.set_code(i, complement_code(code_at(k_ - 1 - i)));
+    return m;
+  }
+
+  /// djb2 over the packed bytes of the seed — the paper's seed-to-processor
+  /// hash (Section VI-C1).
+  [[nodiscard]] std::uint64_t djb2() const noexcept {
+    std::uint64_t h = 5381;
+    const int nbytes = (k_ + 3) / 4;
+    for (int b = 0; b < nbytes; ++b) {
+      const auto byte = static_cast<std::uint8_t>(
+          w_[static_cast<std::size_t>(b) >> 3] >> ((b & 7) * 8));
+      h = h * 33u + byte;
+    }
+    return h;
+  }
+
+  /// Independent, well-mixed hash for bucket placement *within* a rank, so
+  /// bucket choice is uncorrelated with the (djb2 mod nranks) owner choice.
+  [[nodiscard]] std::uint64_t mixed_hash() const noexcept {
+    std::uint64_t x = w_[0] ^ (w_[1] * 0x9e3779b97f4a7c15ULL) ^
+                      (static_cast<std::uint64_t>(k_) << 56);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  friend bool operator==(const Kmer& a, const Kmer& b) noexcept {
+    return a.k_ == b.k_ && a.w_ == b.w_;
+  }
+  friend bool operator<(const Kmer& a, const Kmer& b) noexcept {
+    if (a.w_[1] != b.w_[1]) return a.w_[1] < b.w_[1];
+    if (a.w_[0] != b.w_[0]) return a.w_[0] < b.w_[0];
+    return a.k_ < b.k_;
+  }
+
+ private:
+  void set_code(int i, std::uint8_t code) noexcept {
+    const std::size_t word = static_cast<std::size_t>(i) >> 5;
+    const unsigned shift = (i & 31) * 2;
+    w_[word] &= ~(std::uint64_t{3} << shift);
+    w_[word] |= static_cast<std::uint64_t>(code & 3u) << shift;
+  }
+
+  std::array<std::uint64_t, 2> w_{0, 0};
+  int k_ = 0;
+};
+
+/// Extract all k-length seeds of an ASCII sequence, skipping windows that
+/// contain a non-ACGT base. Calls fn(offset, kmer) for each valid window.
+template <typename Fn>
+void for_each_seed(std::string_view s, int k, Fn&& fn) {
+  if (k <= 0 || k > kMaxSeedLen || s.size() < static_cast<std::size_t>(k))
+    return;
+  // Track the most recent invalid position to skip tainted windows in O(n).
+  std::ptrdiff_t last_bad = -1;
+  Kmer m;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const std::uint8_t c = encode_base(s[i]);
+    if (c == kInvalidBase) {
+      last_bad = static_cast<std::ptrdiff_t>(i);
+      continue;
+    }
+    if (i + 1 < static_cast<std::size_t>(k)) continue;
+    const std::size_t start = i + 1 - static_cast<std::size_t>(k);
+    if (static_cast<std::ptrdiff_t>(start) <= last_bad) continue;
+    if (static_cast<std::ptrdiff_t>(start) == last_bad + 1) {
+      // First clean window after a bad base (or the very first window):
+      // build it from scratch; subsequent windows roll in O(1).
+      auto fresh = Kmer::from_ascii(s.substr(start, static_cast<std::size_t>(k)));
+      m = *fresh;  // window verified clean above
+    } else {
+      m.roll(c);
+    }
+    fn(start, m);
+  }
+}
+
+/// Seed extraction over a PackedSeq (always valid bases): fn(offset, kmer).
+template <typename Fn>
+void for_each_seed(const PackedSeq& s, int k, Fn&& fn) {
+  if (k <= 0 || k > kMaxSeedLen || s.size() < static_cast<std::size_t>(k))
+    return;
+  Kmer m = Kmer::from_packed(s, 0, k);
+  fn(std::size_t{0}, m);
+  for (std::size_t start = 1; start + static_cast<std::size_t>(k) <= s.size();
+       ++start) {
+    m.roll(s.code_at(start + static_cast<std::size_t>(k) - 1));
+    fn(start, m);
+  }
+}
+
+}  // namespace mera::seq

@@ -1,0 +1,101 @@
+#include "seq/packed_seq.hpp"
+
+#include <stdexcept>
+
+namespace mera::seq {
+
+PackedSeq::PackedSeq(std::string_view ascii) {
+  words_.reserve((ascii.size() + 31) / 32);
+  for (char c : ascii) {
+    std::uint8_t code = encode_base(c);
+    if (code == kInvalidBase) code = 0;  // 'N' degrades to 'A' (documented)
+    push_code(code);
+  }
+}
+
+PackedSeq PackedSeq::from_string_checked(std::string_view ascii) {
+  if (!is_valid_dna(ascii))
+    throw std::invalid_argument(
+        "PackedSeq::from_string_checked: non-ACGT base in input");
+  return PackedSeq(ascii);
+}
+
+void PackedSeq::push_code(std::uint8_t code) {
+  const std::size_t word = size_ >> 5;
+  const unsigned shift = (size_ & 31u) * 2;
+  if (word == words_.size()) words_.push_back(0);
+  words_[word] |= (static_cast<std::uint64_t>(code & 3u) << shift);
+  ++size_;
+}
+
+std::string PackedSeq::to_string() const { return to_string(0, size_); }
+
+std::string PackedSeq::to_string(std::size_t pos, std::size_t len) const {
+  if (pos + len > size_)
+    throw std::out_of_range("PackedSeq::to_string: range past end");
+  std::string s(len, '\0');
+  for (std::size_t i = 0; i < len; ++i) s[i] = char_at(pos + i);
+  return s;
+}
+
+PackedSeq PackedSeq::subseq(std::size_t pos, std::size_t len) const {
+  if (pos + len > size_)
+    throw std::out_of_range("PackedSeq::subseq: range past end");
+  PackedSeq out;
+  out.words_.reserve((len + 31) / 32);
+  for (std::size_t i = 0; i < len; ++i) out.push_code(code_at(pos + i));
+  return out;
+}
+
+PackedSeq PackedSeq::reverse_complement() const {
+  PackedSeq out;
+  out.words_.reserve(words_.size());
+  for (std::size_t i = size_; i-- > 0;)
+    out.push_code(complement_code(code_at(i)));
+  return out;
+}
+
+bool PackedSeq::equal_range(const PackedSeq& a, std::size_t apos,
+                            const PackedSeq& b, std::size_t bpos,
+                            std::size_t n) noexcept {
+  if (apos + n > a.size_ || bpos + n > b.size_) return false;
+  // Word-at-a-time when both ranges are 32-base aligned; else base loop.
+  if ((apos & 31u) == 0 && (bpos & 31u) == 0) {
+    std::size_t full = n / 32;
+    for (std::size_t w = 0; w < full; ++w)
+      if (a.words_[apos / 32 + w] != b.words_[bpos / 32 + w]) return false;
+    for (std::size_t i = full * 32; i < n; ++i)
+      if (a.code_at(apos + i) != b.code_at(bpos + i)) return false;
+    return true;
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    if (a.code_at(apos + i) != b.code_at(bpos + i)) return false;
+  return true;
+}
+
+std::size_t PackedSeq::mismatch_count(const PackedSeq& a, std::size_t apos,
+                                      const PackedSeq& b, std::size_t bpos,
+                                      std::size_t n) noexcept {
+  std::size_t mm = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    mm += (a.code_at(apos + i) != b.code_at(bpos + i)) ? 1u : 0u;
+  return mm;
+}
+
+PackedSeq PackedSeq::from_words(std::vector<std::uint64_t> words,
+                                std::size_t nbases) {
+  if (words.size() < (nbases + 31) / 32)
+    throw std::invalid_argument("PackedSeq::from_words: too few words");
+  PackedSeq out;
+  out.words_ = std::move(words);
+  out.words_.resize((nbases + 31) / 32);
+  out.size_ = nbases;
+  // Zero the tail bits beyond nbases so operator== stays well-defined.
+  if (nbases & 31u) {
+    const std::uint64_t mask = (~std::uint64_t{0}) >> (64 - 2 * (nbases & 31u));
+    out.words_.back() &= mask;
+  }
+  return out;
+}
+
+}  // namespace mera::seq

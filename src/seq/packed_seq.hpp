@@ -1,0 +1,90 @@
+// PackedSeq: a DNA sequence stored 2 bits/base (Section V-C).
+//
+// The aligner moves sequences across ranks constantly (target fetches, seed
+// payloads); packing cuts both the memory footprint and the modeled
+// communication bytes by 4x, exactly as in the paper. Bases with code 4
+// ('N') cannot be represented; call sites that may see Ns must pre-filter
+// (the k-mer extractor skips windows containing invalid bases before packing).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/dna.hpp"
+
+namespace mera::seq {
+
+class PackedSeq {
+ public:
+  PackedSeq() = default;
+
+  /// Pack an ASCII DNA string; invalid bases are packed as 'A' — use
+  /// from_string_checked() when Ns must be rejected.
+  explicit PackedSeq(std::string_view ascii);
+
+  /// Throws std::invalid_argument if `ascii` contains a non-ACGT character.
+  static PackedSeq from_string_checked(std::string_view ascii);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// 2-bit code of base `i`.
+  [[nodiscard]] std::uint8_t code_at(std::size_t i) const noexcept {
+    return (words_[i >> 5] >> ((i & 31u) * 2)) & 3u;
+  }
+  [[nodiscard]] char char_at(std::size_t i) const noexcept {
+    return decode_base(code_at(i));
+  }
+
+  void push_code(std::uint8_t code);
+  void clear() noexcept {
+    words_.clear();
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_string(std::size_t pos, std::size_t len) const;
+
+  [[nodiscard]] PackedSeq subseq(std::size_t pos, std::size_t len) const;
+  [[nodiscard]] PackedSeq reverse_complement() const;
+
+  /// Bytes occupied by the packed payload (what a one-sided transfer moves).
+  [[nodiscard]] std::size_t packed_bytes() const noexcept {
+    return words_.size() * sizeof(std::uint64_t);
+  }
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+
+  /// memcmp-style compare: do a[apos..apos+n) and b[bpos..bpos+n) hold the
+  /// same bases? This is the fast path of the exact-match optimization
+  /// (Section IV-A): one packed comparison instead of Smith-Waterman.
+  [[nodiscard]] static bool equal_range(const PackedSeq& a, std::size_t apos,
+                                        const PackedSeq& b, std::size_t bpos,
+                                        std::size_t n) noexcept;
+
+  /// Number of mismatching bases between the two ranges (for alignment stats).
+  [[nodiscard]] static std::size_t mismatch_count(const PackedSeq& a,
+                                                  std::size_t apos,
+                                                  const PackedSeq& b,
+                                                  std::size_t bpos,
+                                                  std::size_t n) noexcept;
+
+  friend bool operator==(const PackedSeq& x, const PackedSeq& y) noexcept {
+    return x.size_ == y.size_ && x.words_ == y.words_;
+  }
+
+  /// Rebuild from raw words + length (receiving side of a transfer).
+  static PackedSeq from_words(std::vector<std::uint64_t> words,
+                              std::size_t nbases);
+
+ private:
+  std::vector<std::uint64_t> words_;  // 32 bases per word, LSB-first
+  std::size_t size_ = 0;
+};
+
+}  // namespace mera::seq

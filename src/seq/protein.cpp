@@ -1,0 +1,62 @@
+#include "seq/protein.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace mera::seq {
+
+namespace {
+
+constexpr std::uint8_t kXCode = 22;
+
+constexpr std::array<std::uint8_t, 26> build_letter_table() {
+  std::array<std::uint8_t, 26> table{};
+  for (auto& v : table) v = kXCode;
+  for (std::size_t i = 0; i < kAminoOrder.size(); ++i) {
+    const char c = kAminoOrder[i];
+    if (c >= 'A' && c <= 'Z')
+      table[static_cast<std::size_t>(c - 'A')] = static_cast<std::uint8_t>(i);
+  }
+  return table;
+}
+
+constexpr auto kLetterTable = build_letter_table();
+
+}  // namespace
+
+std::uint8_t encode_amino(char c) noexcept {
+  if (c == '*') return 23;
+  const char up = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  if (up < 'A' || up > 'Z') return kXCode;
+  return kLetterTable[static_cast<std::size_t>(up - 'A')];
+}
+
+char decode_amino(std::uint8_t code) noexcept {
+  return code < kAminoOrder.size() ? kAminoOrder[code] : 'X';
+}
+
+bool is_standard_protein(std::string_view s) noexcept {
+  for (char c : s) {
+    const auto code = encode_amino(c);
+    if (code >= 20) return false;  // B/Z/X/* or unknown
+    // encode maps unknown to X(22), standard residues to 0..19.
+    if (decode_amino(code) !=
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c))))
+      return false;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> protein_codes(std::string_view s) {
+  std::vector<std::uint8_t> v(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) v[i] = encode_amino(s[i]);
+  return v;
+}
+
+std::string protein_string(const std::vector<std::uint8_t>& codes) {
+  std::string s(codes.size(), 'X');
+  for (std::size_t i = 0; i < codes.size(); ++i) s[i] = decode_amino(codes[i]);
+  return s;
+}
+
+}  // namespace mera::seq

@@ -1,0 +1,32 @@
+// Amino-acid alphabet support (the paper's conclusion: "Extending our
+// approach to other alphabets, one can also use the same methods to align
+// protein sequences ... against protein datasets").
+//
+// Residues are coded in the NCBI BLOSUM order "ARNDCQEGHILKMFPSTWYVBZX*";
+// the alignment kernels operate on these codes with a substitution matrix
+// (align/blosum.hpp) instead of DNA match/mismatch scoring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mera::seq {
+
+inline constexpr int kAminoAlphabetSize = 24;
+inline constexpr std::string_view kAminoOrder = "ARNDCQEGHILKMFPSTWYVBZX*";
+
+/// Residue letter -> code (0..23); unknown letters map to 'X' (22).
+[[nodiscard]] std::uint8_t encode_amino(char c) noexcept;
+[[nodiscard]] char decode_amino(std::uint8_t code) noexcept;
+
+/// True iff every character is one of the 20 standard residues (strict:
+/// no B/Z/X/* ambiguity codes).
+[[nodiscard]] bool is_standard_protein(std::string_view s) noexcept;
+
+[[nodiscard]] std::vector<std::uint8_t> protein_codes(std::string_view s);
+[[nodiscard]] std::string protein_string(
+    const std::vector<std::uint8_t>& codes);
+
+}  // namespace mera::seq

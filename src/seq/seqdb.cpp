@@ -1,0 +1,183 @@
+#include "seq/seqdb.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "seq/fastq.hpp"
+
+namespace mera::seq {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'E', 'R', 'A', 'S', 'D', 'B', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kFlagQuality = 1u;
+constexpr std::size_t kHeaderBytes = 32;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("SeqDB: truncated file");
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SeqDBWriter
+// ---------------------------------------------------------------------------
+
+SeqDBWriter::SeqDBWriter(const std::string& path, bool store_quality)
+    : out_(path, std::ios::binary), path_(path), store_quality_(store_quality) {
+  if (!out_) throw std::runtime_error("SeqDB: cannot open for writing: " + path);
+  out_.write(kMagic, sizeof(kMagic));
+  write_pod(out_, kVersion);
+  write_pod(out_, store_quality_ ? kFlagQuality : 0u);
+  write_pod(out_, std::uint64_t{0});  // nrecords, backpatched
+  write_pod(out_, std::uint64_t{0});  // index_offset, backpatched
+}
+
+SeqDBWriter::~SeqDBWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor must not throw; an incomplete file fails magic-check on read.
+  }
+}
+
+void SeqDBWriter::add(const SeqRecord& rec) {
+  if (finished_) throw std::logic_error("SeqDB: add() after finish()");
+  offsets_.push_back(static_cast<std::uint64_t>(out_.tellp()));
+
+  const auto name_len = static_cast<std::uint16_t>(rec.name.size());
+  if (rec.name.size() > 0xFFFF)
+    throw std::invalid_argument("SeqDB: record name longer than 65535 bytes");
+  write_pod(out_, name_len);
+  out_.write(rec.name.data(), name_len);
+
+  const auto seq_len = static_cast<std::uint32_t>(rec.seq.size());
+  write_pod(out_, seq_len);
+  std::vector<std::uint32_t> n_pos;
+  for (std::uint32_t i = 0; i < seq_len; ++i)
+    if (encode_base(rec.seq[i]) == kInvalidBase) n_pos.push_back(i);
+  const PackedSeq packed(rec.seq);  // Ns degrade to 'A'; recorded in n_pos
+  for (std::uint64_t w : packed.words()) write_pod(out_, w);
+  write_pod(out_, static_cast<std::uint32_t>(n_pos.size()));
+  for (std::uint32_t p : n_pos) write_pod(out_, p);
+
+  if (store_quality_) {
+    if (rec.qual.size() != rec.seq.size())
+      throw std::invalid_argument(
+          "SeqDB: quality/sequence length mismatch for record '" + rec.name +
+          "'");
+    out_.write(rec.qual.data(), static_cast<std::streamsize>(rec.qual.size()));
+  }
+  if (!out_) throw std::runtime_error("SeqDB: write failed: " + path_);
+}
+
+void SeqDBWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  const auto index_offset = static_cast<std::uint64_t>(out_.tellp());
+  for (std::uint64_t off : offsets_) write_pod(out_, off);
+  out_.seekp(16);
+  write_pod(out_, static_cast<std::uint64_t>(offsets_.size()));
+  write_pod(out_, index_offset);
+  out_.flush();
+  if (!out_) throw std::runtime_error("SeqDB: finalize failed: " + path_);
+}
+
+// ---------------------------------------------------------------------------
+// SeqDBReader
+// ---------------------------------------------------------------------------
+
+SeqDBReader::SeqDBReader(const std::string& path) : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("SeqDB: cannot open for reading: " + path);
+  char magic[8];
+  in_.read(magic, sizeof(magic));
+  if (!in_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("SeqDB: bad magic (not a SeqDB file): " + path);
+  const auto version = read_pod<std::uint32_t>(in_);
+  if (version != kVersion)
+    throw std::runtime_error("SeqDB: unsupported version");
+  const auto flags = read_pod<std::uint32_t>(in_);
+  store_quality_ = (flags & kFlagQuality) != 0;
+  const auto nrecords = read_pod<std::uint64_t>(in_);
+  const auto index_offset = read_pod<std::uint64_t>(in_);
+  in_.seekg(static_cast<std::streamoff>(index_offset));
+  offsets_.resize(nrecords);
+  for (auto& off : offsets_) off = read_pod<std::uint64_t>(in_);
+}
+
+std::pair<std::size_t, std::size_t> SeqDBReader::partition(int rank,
+                                                           int nranks) const {
+  if (rank < 0 || nranks < 1 || rank >= nranks)
+    throw std::invalid_argument("SeqDB::partition: bad rank/nranks");
+  const std::size_t n = offsets_.size();
+  const auto r = static_cast<std::size_t>(rank);
+  const auto p = static_cast<std::size_t>(nranks);
+  return {n * r / p, n * (r + 1) / p};
+}
+
+PackedRead SeqDBReader::read_packed(std::size_t i) {
+  if (i >= offsets_.size()) throw std::out_of_range("SeqDB: record index");
+  in_.seekg(static_cast<std::streamoff>(offsets_[i]));
+  PackedRead rec;
+  const auto name_len = read_pod<std::uint16_t>(in_);
+  rec.name.resize(name_len);
+  in_.read(rec.name.data(), name_len);
+  const auto seq_len = read_pod<std::uint32_t>(in_);
+  std::vector<std::uint64_t> words((seq_len + 31) / 32);
+  for (auto& w : words) w = read_pod<std::uint64_t>(in_);
+  rec.seq = PackedSeq::from_words(std::move(words), seq_len);
+  const auto n_count = read_pod<std::uint32_t>(in_);
+  rec.n_pos.resize(n_count);
+  for (auto& p : rec.n_pos) p = read_pod<std::uint32_t>(in_);
+  if (!in_) throw std::runtime_error("SeqDB: truncated record");
+  return rec;
+}
+
+SeqRecord SeqDBReader::read(std::size_t i) {
+  PackedRead pr = read_packed(i);
+  SeqRecord rec;
+  rec.name = std::move(pr.name);
+  rec.seq = pr.seq.to_string();
+  for (std::uint32_t p : pr.n_pos) rec.seq[p] = 'N';
+  if (store_quality_) {
+    rec.qual.resize(pr.seq.size());
+    in_.read(rec.qual.data(), static_cast<std::streamsize>(rec.qual.size()));
+    if (!in_) throw std::runtime_error("SeqDB: truncated quality");
+  }
+  return rec;
+}
+
+std::vector<PackedRead> SeqDBReader::read_packed_range(std::size_t lo,
+                                                       std::size_t hi) {
+  std::vector<PackedRead> out;
+  out.reserve(hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) out.push_back(read_packed(i));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+void fastq_to_seqdb(const std::string& fastq_path, const std::string& db_path,
+                    bool store_quality) {
+  const auto recs = read_fastq(fastq_path);
+  write_seqdb(db_path, recs, store_quality);
+}
+
+void write_seqdb(const std::string& path, const std::vector<SeqRecord>& recs,
+                 bool store_quality) {
+  SeqDBWriter w(path, store_quality);
+  for (const auto& r : recs) w.add(r);
+  w.finish();
+}
+
+}  // namespace mera::seq

@@ -1,0 +1,115 @@
+#include "align/banded_sw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "seq/dna.hpp"
+
+namespace {
+
+using namespace mera::align;
+
+std::string random_dna(std::mt19937_64& rng, std::size_t len) {
+  std::string s(len, 'A');
+  for (auto& c : s) c = "ACGT"[rng() & 3u];
+  return s;
+}
+
+std::vector<std::uint8_t> codes(const std::string& s) { return dna_codes(s); }
+
+TEST(BandedSw, WideBandEqualsFullDp) {
+  std::mt19937_64 rng(41);
+  const Scoring sc;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string qs = random_dna(rng, 20 + rng() % 60);
+    const std::string ts = random_dna(rng, 20 + rng() % 120);
+    const auto full = smith_waterman(qs, ts, sc);
+    const auto banded = banded_smith_waterman(
+        std::span<const std::uint8_t>(codes(qs)),
+        std::span<const std::uint8_t>(codes(ts)), 0,
+        qs.size() + ts.size(),  // band covers the whole matrix
+        sc);
+    EXPECT_EQ(banded.score, full.score) << "q=" << qs << " t=" << ts;
+  }
+}
+
+TEST(BandedSw, FindsDiagonalAlignmentInsideBand) {
+  std::mt19937_64 rng(42);
+  const Scoring sc;
+  const std::string g = random_dna(rng, 400);
+  // Query = g[100..180) with a couple of substitutions: diagonal = 100.
+  std::string q = g.substr(100, 80);
+  q[20] = mera::seq::complement_base(q[20]);
+  const auto aln = banded_smith_waterman(std::span<const std::uint8_t>(codes(q)),
+                                         std::span<const std::uint8_t>(codes(g)),
+                                         100, 8, sc);
+  EXPECT_EQ(aln.t_begin, 100u);
+  EXPECT_EQ(aln.t_end, 180u);
+  EXPECT_EQ(aln.mismatches, 1);
+  EXPECT_EQ(aln.score, 79 * sc.match + sc.mismatch);
+}
+
+TEST(BandedSw, NarrowBandMissesOffDiagonalAlignment) {
+  std::mt19937_64 rng(43);
+  const Scoring sc;
+  const std::string g = random_dna(rng, 300);
+  const std::string q = g.substr(200, 60);  // true diagonal = 200
+  // Searching around diagonal 0 with a narrow band must not find it.
+  const auto aln = banded_smith_waterman(std::span<const std::uint8_t>(codes(q)),
+                                         std::span<const std::uint8_t>(codes(g)),
+                                         0, 5, sc);
+  EXPECT_LT(aln.score, 60 * sc.match / 2);
+}
+
+TEST(BandedSw, BandContainingOptimumMatchesFullScore) {
+  // Property: if the full-DP optimum lies within the band, scores agree.
+  std::mt19937_64 rng(44);
+  const Scoring sc;
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::string g = random_dna(rng, 250);
+    const std::size_t pos = rng() % 150;
+    std::string q = g.substr(pos, 70);
+    // A small indel keeps the optimum within a few diagonals.
+    if (trial % 2 == 0) q.erase(30, 2);
+    const auto full = smith_waterman(q, g, sc);
+    const auto banded = banded_smith_waterman(
+        std::span<const std::uint8_t>(codes(q)),
+        std::span<const std::uint8_t>(codes(g)),
+        static_cast<std::ptrdiff_t>(pos), 16, sc);
+    EXPECT_EQ(banded.score, full.score) << "trial " << trial;
+  }
+}
+
+TEST(BandedSw, CigarSpansAreConsistent) {
+  std::mt19937_64 rng(45);
+  const Scoring sc;
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string g = random_dna(rng, 200);
+    const std::size_t pos = rng() % 100;
+    const std::string q = g.substr(pos, 50);
+    const auto aln = banded_smith_waterman(
+        std::span<const std::uint8_t>(codes(q)),
+        std::span<const std::uint8_t>(codes(g)),
+        static_cast<std::ptrdiff_t>(pos), 10, sc);
+    EXPECT_EQ(aln.cigar.query_span(), q.size());
+    EXPECT_EQ(aln.cigar.target_span(), aln.t_end - aln.t_begin);
+  }
+}
+
+TEST(BandedSw, EmptyInputsScoreZero) {
+  const Scoring sc;
+  const auto empty = std::span<const std::uint8_t>{};
+  const auto some = codes("ACGT");
+  EXPECT_EQ(banded_smith_waterman(empty, std::span<const std::uint8_t>(some),
+                                  0, 4, sc)
+                .score,
+            0);
+  EXPECT_EQ(banded_smith_waterman(std::span<const std::uint8_t>(some), empty,
+                                  0, 4, sc)
+                .score,
+            0);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "align/cigar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace mera::align;
+
+TEST(Cigar, PushMergesAdjacentSameOps) {
+  Cigar c;
+  c.push(CigarOp::kMatch, 5);
+  c.push(CigarOp::kMatch, 3);
+  c.push(CigarOp::kInsert, 1);
+  c.push(CigarOp::kMatch, 2);
+  ASSERT_EQ(c.elems().size(), 3u);
+  EXPECT_EQ(c.to_string(), "8M1I2M");
+}
+
+TEST(Cigar, ZeroLengthPushIsIgnored) {
+  Cigar c;
+  c.push(CigarOp::kSoftClip, 0);
+  c.push(CigarOp::kMatch, 4);
+  c.push(CigarOp::kDelete, 0);
+  EXPECT_EQ(c.to_string(), "4M");
+}
+
+TEST(Cigar, EmptyPrintsAsStar) {
+  EXPECT_EQ(Cigar{}.to_string(), "*");
+}
+
+TEST(Cigar, SpansCountTheRightOps) {
+  Cigar c;
+  c.push(CigarOp::kSoftClip, 3);
+  c.push(CigarOp::kMatch, 10);
+  c.push(CigarOp::kInsert, 2);
+  c.push(CigarOp::kDelete, 4);
+  c.push(CigarOp::kMatch, 5);
+  c.push(CigarOp::kSoftClip, 1);
+  // Query: S + M + I + M + S = 3+10+2+5+1
+  EXPECT_EQ(c.query_span(), 21u);
+  // Target: M + D + M = 10+4+5
+  EXPECT_EQ(c.target_span(), 19u);
+}
+
+TEST(Cigar, ParseRoundTrip) {
+  for (const char* s : {"4M", "3S10M2I4D5M1S", "100M", "*"}) {
+    EXPECT_EQ(Cigar::parse(s).to_string(), s);
+  }
+}
+
+TEST(Cigar, ParseRejectsGarbage) {
+  EXPECT_THROW(Cigar::parse("4Q"), std::invalid_argument);
+  EXPECT_THROW(Cigar::parse("12"), std::invalid_argument);
+}
+
+TEST(Cigar, ParseMergesRedundantRuns) {
+  EXPECT_EQ(Cigar::parse("2M3M").to_string(), "5M");
+}
+
+TEST(Cigar, ReverseFlipsElementOrder) {
+  Cigar c;
+  c.push(CigarOp::kSoftClip, 2);
+  c.push(CigarOp::kMatch, 7);
+  c.reverse();
+  EXPECT_EQ(c.to_string(), "7M2S");
+}
+
+TEST(Cigar, EqualityComparesContent) {
+  EXPECT_EQ(Cigar::parse("5M"), Cigar::parse("2M3M"));
+  EXPECT_FALSE(Cigar::parse("5M") == Cigar::parse("5I"));
+}
+
+}  // namespace

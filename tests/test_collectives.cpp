@@ -1,0 +1,103 @@
+#include "pgas/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace {
+
+using namespace mera::pgas;
+
+TEST(Collectives, AllReduceSum) {
+  Runtime rt(Topology(8, 4));
+  CollectiveSpace<std::uint64_t> cs(8);
+  std::vector<std::uint64_t> results(8);
+  rt.run([&](Rank& r) {
+    results[static_cast<std::size_t>(r.id())] =
+        cs.all_reduce_sum(r, static_cast<std::uint64_t>(r.id() + 1));
+  });
+  for (auto v : results) EXPECT_EQ(v, 36u);  // 1+2+...+8
+}
+
+TEST(Collectives, AllReduceMax) {
+  Runtime rt(Topology(5, 5));
+  CollectiveSpace<int> cs(5);
+  std::vector<int> results(5);
+  rt.run([&](Rank& r) {
+    const int mine = r.id() == 3 ? 100 : r.id();
+    results[static_cast<std::size_t>(r.id())] = cs.all_reduce_max(r, mine);
+  });
+  for (int v : results) EXPECT_EQ(v, 100);
+}
+
+TEST(Collectives, ExclusiveScan) {
+  Runtime rt(Topology(6, 3));
+  CollectiveSpace<std::uint64_t> cs(6);
+  std::vector<std::uint64_t> results(6);
+  rt.run([&](Rank& r) {
+    // Rank r contributes 10*(r+1); prefix of rank r = sum of earlier ranks.
+    results[static_cast<std::size_t>(r.id())] =
+        cs.exclusive_scan(r, static_cast<std::uint64_t>(10 * (r.id() + 1)));
+  });
+  std::uint64_t expect = 0;
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)], expect) << "rank " << r;
+    expect += static_cast<std::uint64_t>(10 * (r + 1));
+  }
+}
+
+TEST(Collectives, Broadcast) {
+  Runtime rt(Topology(4, 2));
+  CollectiveSpace<double> cs(4);
+  std::vector<double> results(4);
+  rt.run([&](Rank& r) {
+    const double mine = r.id() == 2 ? 3.25 : -1.0;
+    results[static_cast<std::size_t>(r.id())] = cs.broadcast(r, mine, 2);
+  });
+  for (double v : results) EXPECT_DOUBLE_EQ(v, 3.25);
+}
+
+TEST(Collectives, AllGather) {
+  Runtime rt(Topology(7, 7));
+  CollectiveSpace<int> cs(7);
+  std::vector<std::vector<int>> results(7);
+  rt.run([&](Rank& r) {
+    results[static_cast<std::size_t>(r.id())] = cs.all_gather(r, r.id() * 2);
+  });
+  for (const auto& v : results) {
+    ASSERT_EQ(v.size(), 7u);
+    for (int i = 0; i < 7; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], 2 * i);
+  }
+}
+
+TEST(Collectives, ChargesCommunication) {
+  Runtime rt(Topology(4, 1));  // every rank on its own node
+  CollectiveSpace<int> cs(4);
+  rt.run([&](Rank& r) {
+    (void)cs.all_reduce_sum(r, 1);
+    if (r.id() != 0) {
+      // Non-root: one contribute put + one result get, both off-node.
+      EXPECT_GE(r.stats().net_msgs, 2u);
+      EXPECT_GT(r.stats().comm_time_s, 0.0);
+    }
+  });
+}
+
+TEST(Collectives, ReusableAcrossCalls) {
+  Runtime rt(Topology(3, 3));
+  CollectiveSpace<int> cs(3);
+  std::vector<int> sums(3), scans(3);
+  rt.run([&](Rank& r) {
+    const auto me = static_cast<std::size_t>(r.id());
+    sums[me] = cs.all_reduce_sum(r, 1);
+    scans[me] = cs.exclusive_scan(r, 5);
+    sums[me] += cs.all_reduce_sum(r, 2);
+  });
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(sums[static_cast<std::size_t>(r)], 3 + 6);
+    EXPECT_EQ(scans[static_cast<std::size_t>(r)], 5 * r);
+  }
+}
+
+}  // namespace

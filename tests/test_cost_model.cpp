@@ -1,0 +1,67 @@
+#include "pgas/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace mera::pgas;
+
+TEST(CostModel, TransferTimeIsLatencyPlusBandwidth) {
+  CostModel m;
+  m.net_latency_s = 2e-6;
+  m.net_bandwidth_Bps = 1e9;
+  EXPECT_DOUBLE_EQ(m.transfer_time(true, 0), 2e-6);
+  EXPECT_DOUBLE_EQ(m.transfer_time(true, 1'000'000), 2e-6 + 1e-3);
+}
+
+TEST(CostModel, LatencyDominatesSmallMessages) {
+  const CostModel m = CostModel::cray_xc30_like();
+  // A tiny message costs nearly the same as an empty one...
+  EXPECT_LT(m.transfer_time(true, 64) / m.transfer_time(true, 0), 1.05);
+  // ...which is why aggregating S small messages into one big one wins.
+  const std::size_t S = 1000, entry = 32;
+  const double fine_grained = static_cast<double>(S) * m.transfer_time(true, entry);
+  const double aggregated = m.transfer_time(true, S * entry);
+  EXPECT_GT(fine_grained / aggregated, 100.0);
+}
+
+TEST(CostModel, AtomicCostsMoreOffNode) {
+  const CostModel m = CostModel::cray_xc30_like();
+  EXPECT_GT(m.atomic_time(true), m.atomic_time(false));
+  EXPECT_GT(m.atomic_time(true), m.transfer_time(true, 8));
+}
+
+TEST(CostModel, ZeroModelIsFree) {
+  const CostModel z = CostModel::zero();
+  EXPECT_DOUBLE_EQ(z.transfer_time(true, 1u << 30), 0.0);
+  EXPECT_DOUBLE_EQ(z.atomic_time(true), 0.0);
+}
+
+TEST(CommStats, AccumulationAndDifference) {
+  CommStats a;
+  a.local_ops = 1;
+  a.net_msgs = 2;
+  a.net_bytes = 100;
+  a.comm_time_s = 0.5;
+  CommStats b = a;
+  b += a;
+  EXPECT_EQ(b.net_msgs, 4u);
+  EXPECT_EQ(b.net_bytes, 200u);
+  EXPECT_DOUBLE_EQ(b.comm_time_s, 1.0);
+  const CommStats d = b - a;
+  EXPECT_EQ(d.net_msgs, 2u);
+  EXPECT_EQ(d.local_ops, 1u);
+  EXPECT_DOUBLE_EQ(d.comm_time_s, 0.5);
+}
+
+TEST(CommStats, RemoteAggregates) {
+  CommStats s;
+  s.node_msgs = 3;
+  s.net_msgs = 4;
+  s.node_bytes = 30;
+  s.net_bytes = 40;
+  EXPECT_EQ(s.remote_msgs(), 7u);
+  EXPECT_EQ(s.remote_bytes(), 70u);
+}
+
+}  // namespace

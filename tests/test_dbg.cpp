@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <string>
+
+#include "dbg/contig_builder.hpp"
+#include "dbg/kmer_spectrum.hpp"
+#include "seq/dna.hpp"
+#include "seq/genome_sim.hpp"
+#include "seq/read_sim.hpp"
+
+namespace {
+
+using namespace mera;
+using dbg::KmerSpectrum;
+using pgas::Rank;
+using pgas::Runtime;
+using pgas::Topology;
+
+void build_spectrum(Runtime& rt, KmerSpectrum& sp,
+                    const std::vector<std::string>& reads) {
+  rt.run([&](Rank& r) {
+    const std::size_t n = reads.size();
+    const auto me = static_cast<std::size_t>(r.id());
+    const auto p = static_cast<std::size_t>(r.nranks());
+    const std::size_t lo = n * me / p, hi = n * (me + 1) / p;
+    for (std::size_t i = lo; i < hi; ++i) sp.count_read(r, reads[i]);
+    sp.finish_count(r);
+    for (std::size_t i = lo; i < hi; ++i) sp.insert_read(r, reads[i]);
+    sp.finish_insert(r);
+  });
+}
+
+/// Brute-force canonical k-mer counts for verification.
+std::map<std::string, int> brute_counts(const std::vector<std::string>& reads,
+                                        int k) {
+  std::map<std::string, int> counts;
+  for (const auto& read : reads)
+    for (std::size_t i = 0; i + static_cast<std::size_t>(k) <= read.size();
+         ++i) {
+      const std::string f = read.substr(i, static_cast<std::size_t>(k));
+      if (!seq::is_valid_dna(f)) continue;
+      const std::string rc = seq::reverse_complement(f);
+      ++counts[std::min(f, rc)];
+    }
+  return counts;
+}
+
+TEST(KmerSpectrum, CountsMatchBruteForce) {
+  std::mt19937_64 rng(101);
+  std::vector<std::string> reads;
+  for (int i = 0; i < 50; ++i) {
+    std::string s(60, 'A');
+    for (auto& c : s) c = "ACGT"[rng() & 3u];
+    reads.push_back(std::move(s));
+  }
+  reads.push_back(reads[0]);  // guaranteed duplicates
+
+  const int k = 15;
+  Runtime rt(Topology(4, 2));
+  KmerSpectrum sp(rt.topo(), {k, 32, true});
+  build_spectrum(rt, sp, reads);
+
+  const auto truth = brute_counts(reads, k);
+  EXPECT_EQ(sp.total_distinct(), truth.size());
+  rt.run([&](Rank& r) {
+    if (r.id() != 0) return;
+    for (const auto& [kmer_str, count] : truth) {
+      const auto m = seq::Kmer::from_ascii(kmer_str);
+      const auto* info = sp.lookup(r, *m);
+      ASSERT_NE(info, nullptr) << kmer_str;
+      EXPECT_EQ(info->count, static_cast<std::uint32_t>(count)) << kmer_str;
+    }
+  });
+}
+
+TEST(KmerSpectrum, ExtensionTalliesFromSingleRead) {
+  // Read ACGTAC, k=4: canonical forms and their neighbours are known.
+  const std::vector<std::string> reads{"ACGTAC"};
+  const int k = 5;
+  Runtime rt(Topology(2, 2));
+  KmerSpectrum sp(rt.topo(), {k, 8, true});
+  build_spectrum(rt, sp, reads);
+
+  rt.run([&](Rank& r) {
+    if (r.id() != 0) return;
+    // Window "ACGTA" (canonical: ACGTA vs TACGT -> ACGTA), right neighbour C,
+    // no left.
+    const auto m = seq::Kmer::from_ascii("ACGTA");
+    const auto* info = sp.lookup(r, *m);
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->count, 1u);
+    EXPECT_EQ(info->left[4], 1u);                       // read start
+    EXPECT_EQ(info->right[seq::encode_base('C')], 1u);  // followed by C
+  });
+}
+
+TEST(KmerSpectrum, CanonicalizationMergesStrands) {
+  // The same locus sequenced from both strands lands on one canonical key.
+  const std::string fwd = "ACGGTTCAGGCAT";
+  const std::vector<std::string> reads{fwd, seq::reverse_complement(fwd)};
+  const int k = 7;
+  Runtime rt(Topology(2, 2));
+  KmerSpectrum sp(rt.topo(), {k, 8, true});
+  build_spectrum(rt, sp, reads);
+  rt.run([&](Rank& r) {
+    if (r.id() != 0) return;
+    seq::for_each_seed(std::string_view(fwd), k,
+                       [&](std::size_t, const seq::Kmer& m) {
+                         const seq::Kmer rc = m.reverse_complement();
+                         const seq::Kmer canon = rc < m ? rc : m;
+                         const auto* info = sp.lookup(r, canon);
+                         ASSERT_NE(info, nullptr);
+                         EXPECT_EQ(info->count, 2u) << canon.to_string();
+                       });
+  });
+}
+
+TEST(KmerSpectrum, NaiveAndAggregatedAgree) {
+  std::mt19937_64 rng(102);
+  std::vector<std::string> reads;
+  for (int i = 0; i < 40; ++i) {
+    std::string s(80, 'A');
+    for (auto& c : s) c = "ACGT"[rng() & 3u];
+    reads.push_back(std::move(s));
+  }
+  const int k = 11;
+  Runtime rt1(Topology(4, 2)), rt2(Topology(4, 2));
+  KmerSpectrum agg(rt1.topo(), {k, 16, true});
+  KmerSpectrum naive(rt2.topo(), {k, 16, false});
+  build_spectrum(rt1, agg, reads);
+  build_spectrum(rt2, naive, reads);
+  EXPECT_EQ(agg.total_distinct(), naive.total_distinct());
+  // Aggregated construction sends far fewer messages.
+  EXPECT_LT(rt1.report().total_traffic().remote_msgs() * 5,
+            rt2.report().total_traffic().remote_msgs());
+}
+
+TEST(ContigBuilder, ReconstructsRepeatFreeGenome) {
+  // Error-free reads at depth 8 over a repeat-free genome: the UU graph is
+  // a set of simple paths and the contigs must tile the genome.
+  const std::string genome = seq::simulate_genome(
+      {.length = 20'000, .repeat_fraction = 0.0, .rng_seed = 103});
+  seq::ReadSimParams rp;
+  rp.read_len = 80;
+  rp.depth = 8.0;
+  rp.error_rate = 0.0;
+  rp.junk_fraction = 0.0;
+  rp.n_rate = 0.0;
+  rp.rng_seed = 104;
+  const auto read_recs = simulate_reads(genome, rp);
+  std::vector<std::string> reads;
+  for (const auto& r : read_recs) reads.push_back(r.seq);
+
+  const int k = 21;
+  Runtime rt(Topology(4, 2));
+  KmerSpectrum sp(rt.topo(), {k, 256, true});
+  build_spectrum(rt, sp, reads);
+  const auto contigs = dbg::build_contigs(sp, 4, {2, 2, 100});
+
+  ASSERT_FALSE(contigs.empty());
+  std::size_t covered = 0;
+  for (const auto& c : contigs) {
+    // Every contig must be a substring of the genome (either strand).
+    const bool fwd = genome.find(c) != std::string::npos;
+    const bool rev =
+        genome.find(seq::reverse_complement(c)) != std::string::npos;
+    EXPECT_TRUE(fwd || rev) << "contig of length " << c.size()
+                            << " not in genome";
+    covered += c.size();
+  }
+  // Near-complete reconstruction (ends + low-coverage gaps may be lost).
+  EXPECT_GT(covered, genome.size() * 85 / 100);
+  // And it should come in few, long pieces.
+  const auto longest =
+      std::max_element(contigs.begin(), contigs.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.size() < b.size();
+                       })
+          ->size();
+  EXPECT_GT(longest, 1000u);
+}
+
+TEST(ContigBuilder, ErrorKmersAreFilteredBySolidity) {
+  const std::string genome = seq::simulate_genome(
+      {.length = 10'000, .repeat_fraction = 0.0, .rng_seed = 105});
+  seq::ReadSimParams rp;
+  rp.read_len = 80;
+  rp.depth = 10.0;
+  rp.error_rate = 0.01;  // errors create low-count k-mers
+  rp.junk_fraction = 0.0;
+  rp.n_rate = 0.0;
+  rp.rng_seed = 106;
+  const auto read_recs = simulate_reads(genome, rp);
+  std::vector<std::string> reads;
+  for (const auto& r : read_recs) reads.push_back(r.seq);
+
+  const int k = 21;
+  Runtime rt(Topology(4, 2));
+  KmerSpectrum sp(rt.topo(), {k, 256, true});
+  build_spectrum(rt, sp, reads);
+  // min_count=3 discards error k-mers (seen once or twice).
+  const auto contigs = dbg::build_contigs(sp, 4, {3, 3, 200});
+  ASSERT_FALSE(contigs.empty());
+  std::size_t in_genome = 0;
+  for (const auto& c : contigs)
+    if (genome.find(c) != std::string::npos ||
+        genome.find(seq::reverse_complement(c)) != std::string::npos)
+      ++in_genome;
+  // The solid-threshold graph stays error-free.
+  EXPECT_EQ(in_genome, contigs.size());
+}
+
+TEST(ContigBuilder, RepeatBreaksContigs) {
+  // An exact repeat longer than k forks the UU graph; contigs must stop at
+  // the repeat boundary rather than misassemble across it.
+  std::mt19937_64 rng(107);
+  auto rand_seq = [&](std::size_t n) {
+    std::string s(n, 'A');
+    for (auto& c : s) c = "ACGT"[rng() & 3u];
+    return s;
+  };
+  const std::string repeat = rand_seq(200);
+  const std::string genome =
+      rand_seq(3000) + repeat + rand_seq(3000) + repeat + rand_seq(3000);
+  seq::ReadSimParams rp;
+  rp.read_len = 80;
+  rp.depth = 10.0;
+  rp.error_rate = 0.0;
+  rp.junk_fraction = 0.0;
+  rp.rng_seed = 108;
+  const auto read_recs = simulate_reads(genome, rp);
+  std::vector<std::string> reads;
+  for (const auto& r : read_recs) reads.push_back(r.seq);
+
+  const int k = 21;
+  Runtime rt(Topology(2, 2));
+  KmerSpectrum sp(rt.topo(), {k, 256, true});
+  build_spectrum(rt, sp, reads);
+  const auto contigs = dbg::build_contigs(sp, 2, {2, 2, 100});
+  for (const auto& c : contigs) {
+    const bool fwd = genome.find(c) != std::string::npos;
+    const bool rev =
+        genome.find(seq::reverse_complement(c)) != std::string::npos;
+    EXPECT_TRUE(fwd || rev) << "misassembled contig (len " << c.size() << ")";
+  }
+  // No contig may span a full repeat copy plus both flanks.
+  for (const auto& c : contigs)
+    EXPECT_LT(c.size(), 3000u + 2 * repeat.size());
+}
+
+TEST(KmerSpectrum, RejectsBadOptions) {
+  const Topology topo(2, 2);
+  EXPECT_THROW(KmerSpectrum(topo, {1, 8, true}), std::invalid_argument);
+  EXPECT_THROW(KmerSpectrum(topo, {65, 8, true}), std::invalid_argument);
+}
+
+}  // namespace

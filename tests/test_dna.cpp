@@ -1,0 +1,75 @@
+#include "seq/dna.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+namespace {
+
+using namespace mera::seq;
+
+TEST(Dna, EncodeDecodeRoundTrip) {
+  const std::string bases = "ACGT";
+  for (char c : bases) {
+    const auto code = encode_base(c);
+    ASSERT_LT(code, 4);
+    EXPECT_EQ(decode_base(code), c);
+  }
+}
+
+TEST(Dna, EncodeIsCaseInsensitive) {
+  EXPECT_EQ(encode_base('a'), encode_base('A'));
+  EXPECT_EQ(encode_base('c'), encode_base('C'));
+  EXPECT_EQ(encode_base('g'), encode_base('G'));
+  EXPECT_EQ(encode_base('t'), encode_base('T'));
+}
+
+TEST(Dna, InvalidBasesEncodeToSentinel) {
+  for (char c : std::string("NnXU*- 1")) EXPECT_EQ(encode_base(c), kInvalidBase);
+  EXPECT_EQ(decode_base(kInvalidBase), 'N');
+}
+
+TEST(Dna, ComplementPairs) {
+  EXPECT_EQ(complement_base('A'), 'T');
+  EXPECT_EQ(complement_base('T'), 'A');
+  EXPECT_EQ(complement_base('C'), 'G');
+  EXPECT_EQ(complement_base('G'), 'C');
+  EXPECT_EQ(complement_base('N'), 'N');
+}
+
+TEST(Dna, ComplementCodeIsInvolution) {
+  for (std::uint8_t c = 0; c < 4; ++c)
+    EXPECT_EQ(complement_code(complement_code(c)), c);
+  EXPECT_EQ(complement_code(kInvalidBase), kInvalidBase);
+}
+
+TEST(Dna, IsValidDna) {
+  EXPECT_TRUE(is_valid_dna(""));
+  EXPECT_TRUE(is_valid_dna("ACGTacgt"));
+  EXPECT_FALSE(is_valid_dna("ACGTN"));
+  EXPECT_FALSE(is_valid_dna("hello"));
+}
+
+TEST(Dna, ReverseComplementKnown) {
+  EXPECT_EQ(reverse_complement("ACGT"), "ACGT");  // palindrome
+  EXPECT_EQ(reverse_complement("AAAA"), "TTTT");
+  EXPECT_EQ(reverse_complement("GATTACA"), "TGTAATC");
+  EXPECT_EQ(reverse_complement(""), "");
+}
+
+TEST(Dna, ReverseComplementIsInvolutionOnRandomStrings) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string s(1 + rng() % 300, 'A');
+    for (auto& c : s) c = decode_base(static_cast<std::uint8_t>(rng() & 3u));
+    EXPECT_EQ(reverse_complement(reverse_complement(s)), s);
+  }
+}
+
+TEST(Dna, ReverseComplementPreservesN) {
+  EXPECT_EQ(reverse_complement("ANT"), "ANT");
+  EXPECT_EQ(reverse_complement("NAC"), "GTN");
+}
+
+}  // namespace

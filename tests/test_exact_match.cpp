@@ -1,0 +1,117 @@
+#include "core/exact_match.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <string>
+
+#include "align/smith_waterman.hpp"
+#include "seq/kmer.hpp"
+#include "seq/packed_seq.hpp"
+
+namespace {
+
+using namespace mera::core;
+using mera::dht::SeedHit;
+using mera::seq::PackedSeq;
+
+TEST(ExactPlacement, CentersQueryOnSeed) {
+  // Seed at query offset 10 found at target position 50 => query begins at 40.
+  const SeedHit hit{0, 7, 50};
+  const auto pl = exact_placement(hit, 10, 100, 1000);
+  ASSERT_TRUE(pl.has_value());
+  EXPECT_EQ(pl->target_id, 7u);
+  EXPECT_EQ(pl->t_begin, 40u);
+}
+
+TEST(ExactPlacement, RejectsLeftOverhang) {
+  const SeedHit hit{0, 1, 5};
+  EXPECT_FALSE(exact_placement(hit, 10, 100, 1000).has_value());
+}
+
+TEST(ExactPlacement, RejectsRightOverhang) {
+  const SeedHit hit{0, 1, 950};
+  // Query begins at 940, needs 100 bases, target has 1000: 940+100 > 1000.
+  EXPECT_FALSE(exact_placement(hit, 10, 100, 1000).has_value());
+}
+
+TEST(ExactPlacement, ExactFitAtBothEdges) {
+  EXPECT_TRUE(exact_placement(SeedHit{0, 1, 0}, 0, 100, 100).has_value());
+  EXPECT_TRUE(exact_placement(SeedHit{0, 1, 80}, 80, 100, 100).has_value());
+  EXPECT_FALSE(exact_placement(SeedHit{0, 1, 81}, 80, 100, 100).has_value());
+}
+
+TEST(ExactCompare, MatchesAndMismatches) {
+  std::mt19937_64 rng(81);
+  std::string g(500, 'A');
+  for (auto& c : g) c = "ACGT"[rng() & 3u];
+  const PackedSeq target(g);
+  const PackedSeq query(g.substr(123, 90));
+  EXPECT_TRUE(exact_compare(query, target, {0, 123}));
+  EXPECT_FALSE(exact_compare(query, target, {0, 124}));
+}
+
+TEST(Lemma1, UniqueSeedImpliesUniqueFullLengthPlacement) {
+  // Empirical check of Lemma 1: build targets with known unique seeds; if a
+  // query exact-matches a target whose seeds are all unique, then no *other*
+  // target contains the query anywhere.
+  std::mt19937_64 rng(82);
+  const int k = 11;
+  std::vector<std::string> targets;
+  for (int i = 0; i < 6; ++i) {
+    std::string t(300, 'A');
+    for (auto& c : t) c = "ACGT"[rng() & 3u];
+    targets.push_back(std::move(t));
+  }
+
+  // Count seed occurrences across all targets.
+  std::map<std::string, int> seed_count;
+  for (const auto& t : targets)
+    mera::seq::for_each_seed(std::string_view(t), k,
+                             [&](std::size_t, const mera::seq::Kmer& m) {
+                               ++seed_count[m.to_string()];
+                             });
+
+  for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+    // Does target ti have all-unique seeds?
+    bool single_copy = true;
+    mera::seq::for_each_seed(std::string_view(targets[ti]), k,
+                             [&](std::size_t, const mera::seq::Kmer& m) {
+                               if (seed_count[m.to_string()] > 1)
+                                 single_copy = false;
+                             });
+    if (!single_copy) continue;
+    // Any full-length query drawn from ti must occur in no other target.
+    for (int trial = 0; trial < 10; ++trial) {
+      const std::size_t pos = rng() % (targets[ti].size() - 60);
+      const std::string q = targets[ti].substr(pos, 60);
+      for (std::size_t tj = 0; tj < targets.size(); ++tj) {
+        if (tj == ti) continue;
+        EXPECT_EQ(targets[tj].find(q), std::string::npos)
+            << "Lemma 1 violated: query from target " << ti
+            << " found in target " << tj;
+      }
+    }
+  }
+}
+
+TEST(Lemma1, ScoreOfExactPathEqualsSmithWaterman) {
+  // The fast path must report the same result SW would have produced.
+  std::mt19937_64 rng(83);
+  std::string g(800, 'A');
+  for (auto& c : g) c = "ACGT"[rng() & 3u];
+  const PackedSeq target(g);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t pos = rng() % 700;
+    const std::string q = g.substr(pos, 100);
+    const PackedSeq qp(q);
+    ASSERT_TRUE(exact_compare(qp, target, {0, pos}));
+    // memcmp fast-path score convention: match * len == full-DP score.
+    const auto aln = mera::align::smith_waterman(q, g);
+    EXPECT_EQ(aln.score, mera::align::Scoring{}.match * 100);
+    EXPECT_EQ(aln.t_begin, pos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+#include "core/fragmenter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <string>
+
+#include "seq/kmer.hpp"
+
+namespace {
+
+using namespace mera::core;
+
+TEST(Fragmenter, WholeTargetWhenFragmentLenCoversIt) {
+  const auto spans = fragment_spans(100, 1000, 21);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (FragmentSpan{0, 100}));
+}
+
+TEST(Fragmenter, StepIsFragmentLenMinusKPlus1) {
+  const auto spans = fragment_spans(1000, 100, 21);
+  ASSERT_GT(spans.size(), 1u);
+  for (std::size_t i = 1; i < spans.size(); ++i)
+    EXPECT_EQ(spans[i].offset - spans[i - 1].offset, 100u - 21 + 1);
+}
+
+TEST(Fragmenter, CoversEveryBase) {
+  for (std::size_t len : {50u, 99u, 100u, 101u, 777u, 5000u}) {
+    for (std::size_t flen : {50u, 128u, 1000u}) {
+      const auto spans = fragment_spans(len, flen, 31);
+      std::size_t covered_to = 0;
+      for (const auto& s : spans) {
+        EXPECT_LE(s.offset, covered_to);  // no gap
+        covered_to = std::max(covered_to, s.offset + s.length);
+      }
+      EXPECT_EQ(covered_to, len) << "len=" << len << " flen=" << flen;
+    }
+  }
+}
+
+TEST(Fragmenter, SeedSetsAreDisjointAndComplete) {
+  // The Section IV-A invariant: fragment seed sets partition the target's
+  // seed set (disjoint union over *positions*).
+  std::mt19937_64 rng(71);
+  std::string t(700, 'A');
+  for (auto& c : t) c = "ACGT"[rng() & 3u];
+  const int k = 17;
+  const auto spans = fragment_spans(t.size(), 120, k);
+
+  std::set<std::size_t> seed_positions;  // global seed start offsets
+  std::size_t total = 0;
+  for (const auto& s : spans) {
+    mera::seq::for_each_seed(
+        std::string_view(t).substr(s.offset, s.length), k,
+        [&](std::size_t off, const mera::seq::Kmer&) {
+          ++total;
+          EXPECT_TRUE(seed_positions.insert(s.offset + off).second)
+              << "duplicate seed position " << s.offset + off;
+        });
+  }
+  // Exactly the target's seed count, each exactly once.
+  EXPECT_EQ(total, t.size() - k + 1);
+  EXPECT_EQ(seed_positions.size(), t.size() - k + 1);
+  EXPECT_EQ(*seed_positions.begin(), 0u);
+  EXPECT_EQ(*seed_positions.rbegin(), t.size() - k);
+}
+
+TEST(Fragmenter, ShortTailsAreAbsorbed) {
+  // No fragment shorter than k may exist (it would carry no seeds).
+  for (std::size_t len = 100; len < 160; ++len) {
+    const auto spans = fragment_spans(len, 50, 21);
+    for (const auto& s : spans)
+      EXPECT_GE(s.length, 21u) << "len=" << len;
+  }
+}
+
+TEST(Fragmenter, EmptyTarget) {
+  EXPECT_TRUE(fragment_spans(0, 100, 21).empty());
+}
+
+TEST(Fragmenter, RejectsBadArguments) {
+  EXPECT_THROW(fragment_spans(100, 10, 0), std::invalid_argument);
+  EXPECT_THROW(fragment_spans(100, 10, 11), std::invalid_argument);
+}
+
+class FragmenterSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(FragmenterSweep, PartitionInvariantHoldsAcrossGeometries) {
+  const auto [flen, k] = GetParam();
+  std::mt19937_64 rng(72);
+  std::string t(1234, 'A');
+  for (auto& c : t) c = "ACGT"[rng() & 3u];
+  const auto spans = fragment_spans(t.size(), flen, k);
+  std::size_t seeds = 0;
+  std::set<std::size_t> positions;
+  for (const auto& s : spans)
+    mera::seq::for_each_seed(std::string_view(t).substr(s.offset, s.length), k,
+                             [&](std::size_t off, const mera::seq::Kmer&) {
+                               ++seeds;
+                               positions.insert(s.offset + off);
+                             });
+  EXPECT_EQ(seeds, t.size() - static_cast<std::size_t>(k) + 1);
+  EXPECT_EQ(positions.size(), seeds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FragmenterSweep,
+    ::testing::Combine(::testing::Values(std::size_t{32}, std::size_t{100},
+                                         std::size_t{255}, std::size_t{1024}),
+                       ::testing::Values(5, 21, 31)),
+    [](const auto& info) {
+      return "flen" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+
+#include "seq/dna.hpp"
+#include "seq/genome_sim.hpp"
+#include "seq/read_sim.hpp"
+
+namespace {
+
+using namespace mera::seq;
+
+TEST(GenomeSim, ProducesRequestedLengthAndAlphabet) {
+  GenomeParams p;
+  p.length = 50'000;
+  const std::string g = simulate_genome(p);
+  EXPECT_EQ(g.size(), p.length);
+  EXPECT_TRUE(is_valid_dna(g));
+}
+
+TEST(GenomeSim, IsDeterministicPerSeed) {
+  GenomeParams p;
+  p.length = 10'000;
+  p.rng_seed = 99;
+  EXPECT_EQ(simulate_genome(p), simulate_genome(p));
+  p.rng_seed = 100;
+  EXPECT_NE(simulate_genome(GenomeParams{.length = 10'000, .rng_seed = 99}),
+            simulate_genome(p));
+}
+
+TEST(GenomeSim, RepeatFractionCreatesDuplicateKmers) {
+  GenomeParams with_rep;
+  with_rep.length = 200'000;
+  with_rep.repeat_fraction = 0.2;
+  with_rep.repeat_divergence = 0.0;  // exact copies
+  GenomeParams no_rep = with_rep;
+  no_rep.repeat_fraction = 0.0;
+
+  const auto count_dup_kmers = [](const std::string& g) {
+    constexpr int k = 31;
+    std::vector<std::string> kmers;
+    for (std::size_t i = 0; i + k <= g.size(); i += 7)
+      kmers.push_back(g.substr(i, k));
+    std::sort(kmers.begin(), kmers.end());
+    std::size_t dups = 0;
+    for (std::size_t i = 1; i < kmers.size(); ++i)
+      if (kmers[i] == kmers[i - 1]) ++dups;
+    return dups;
+  };
+
+  EXPECT_GT(count_dup_kmers(simulate_genome(with_rep)),
+            10 * (count_dup_kmers(simulate_genome(no_rep)) + 1));
+}
+
+TEST(GenomeSim, ZeroLengthGenome) {
+  GenomeParams p;
+  p.length = 0;
+  EXPECT_TRUE(simulate_genome(p).empty());
+}
+
+TEST(ContigSim, ContigsComeFromTheGenomeWithTruthfulNames) {
+  GenomeParams gp;
+  gp.length = 100'000;
+  const std::string g = simulate_genome(gp);
+  ContigParams cp;
+  const auto contigs = chop_into_contigs(g, cp);
+  ASSERT_GT(contigs.size(), 5u);
+  for (const auto& c : contigs) {
+    const ContigTruth t = parse_contig_truth(c.name);
+    ASSERT_LE(t.end, g.size());
+    EXPECT_EQ(c.seq, g.substr(t.start, t.end - t.start));
+    EXPECT_GE(c.seq.size(), cp.min_len);
+    EXPECT_LE(c.seq.size(), cp.max_len);
+  }
+}
+
+TEST(ContigSim, ContigsAreOrderedAndNonOverlapping) {
+  const std::string g = simulate_genome({.length = 60'000, .rng_seed = 3});
+  const auto contigs = chop_into_contigs(g, {});
+  std::size_t prev_end = 0;
+  for (const auto& c : contigs) {
+    const ContigTruth t = parse_contig_truth(c.name);
+    EXPECT_GE(t.start, prev_end);
+    prev_end = t.end;
+  }
+}
+
+TEST(ContigSim, BadParamsThrow) {
+  EXPECT_THROW(chop_into_contigs("ACGT", {.min_len = 10, .max_len = 5}),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_contig_truth("no_coords_here"),
+               std::invalid_argument);
+}
+
+TEST(ReadSim, ProducesDepthScaledReadCount) {
+  const std::string g = simulate_genome({.length = 50'000, .rng_seed = 5});
+  ReadSimParams rp;
+  rp.read_len = 100;
+  rp.depth = 8.0;
+  const auto reads = simulate_reads(g, rp);
+  const auto expected = static_cast<std::size_t>(rp.depth * 50'000 / 100);
+  EXPECT_EQ(reads.size(), expected);
+  for (const auto& r : reads) {
+    EXPECT_EQ(r.seq.size(), rp.read_len);
+    EXPECT_EQ(r.qual.size(), rp.read_len);
+  }
+}
+
+TEST(ReadSim, ErrorFreeReadsMatchGenomeAtTruthPosition) {
+  const std::string g = simulate_genome({.length = 30'000, .rng_seed = 6});
+  ReadSimParams rp;
+  rp.read_len = 80;
+  rp.depth = 2.0;
+  rp.error_rate = 0.0;
+  rp.junk_fraction = 0.0;
+  rp.n_rate = 0.0;
+  for (const auto& r : simulate_reads(g, rp)) {
+    const ReadTruth t = parse_read_truth(r.name);
+    ASSERT_FALSE(t.junk);
+    const std::string genomic = g.substr(t.pos, rp.read_len);
+    EXPECT_EQ(t.reverse ? reverse_complement(r.seq) : r.seq, genomic);
+  }
+}
+
+TEST(ReadSim, ErrorRateIsRoughlyRespected) {
+  const std::string g = simulate_genome({.length = 40'000, .rng_seed = 7});
+  ReadSimParams rp;
+  rp.read_len = 100;
+  rp.depth = 5.0;
+  rp.error_rate = 0.02;
+  rp.junk_fraction = 0.0;
+  rp.n_rate = 0.0;
+  std::size_t mismatches = 0, bases = 0;
+  for (const auto& r : simulate_reads(g, rp)) {
+    const ReadTruth t = parse_read_truth(r.name);
+    const std::string oriented = t.reverse ? reverse_complement(r.seq) : r.seq;
+    const std::string genomic = g.substr(t.pos, rp.read_len);
+    for (std::size_t i = 0; i < oriented.size(); ++i)
+      mismatches += oriented[i] != genomic[i] ? 1u : 0u;
+    bases += oriented.size();
+  }
+  const double rate = static_cast<double>(mismatches) / static_cast<double>(bases);
+  EXPECT_GT(rate, 0.012);
+  EXPECT_LT(rate, 0.028);
+}
+
+TEST(ReadSim, GroupedOrderingSortsByPosition) {
+  const std::string g = simulate_genome({.length = 20'000, .rng_seed = 8});
+  ReadSimParams rp;
+  rp.depth = 3.0;
+  rp.grouped = true;
+  const auto reads = simulate_reads(g, rp);
+  std::size_t prev = 0;
+  for (const auto& r : reads) {
+    const ReadTruth t = parse_read_truth(r.name);
+    EXPECT_GE(t.pos, prev);
+    prev = t.pos;
+  }
+}
+
+TEST(ReadSim, UngroupedOrderingIsNotSorted) {
+  const std::string g = simulate_genome({.length = 20'000, .rng_seed = 9});
+  ReadSimParams rp;
+  rp.depth = 3.0;
+  rp.grouped = false;
+  const auto reads = simulate_reads(g, rp);
+  bool sorted = true;
+  std::size_t prev = 0;
+  for (const auto& r : reads) {
+    const ReadTruth t = parse_read_truth(r.name);
+    if (t.pos < prev) sorted = false;
+    prev = t.pos;
+  }
+  EXPECT_FALSE(sorted);
+}
+
+TEST(ReadSim, JunkFractionIsMarkedAndRoughlyRight) {
+  const std::string g = simulate_genome({.length = 50'000, .rng_seed = 10});
+  ReadSimParams rp;
+  rp.depth = 10.0;
+  rp.junk_fraction = 0.1;
+  const auto reads = simulate_reads(g, rp);
+  std::size_t junk = 0;
+  for (const auto& r : reads) junk += parse_read_truth(r.name).junk ? 1u : 0u;
+  const double frac = static_cast<double>(junk) / static_cast<double>(reads.size());
+  EXPECT_GT(frac, 0.06);
+  EXPECT_LT(frac, 0.14);
+}
+
+TEST(ReadSim, PairedReadsComeInInsertSizedPairs) {
+  const std::string g = simulate_genome({.length = 50'000, .rng_seed = 11});
+  ReadSimParams rp;
+  rp.read_len = 100;
+  rp.depth = 4.0;
+  rp.paired = true;
+  rp.insert_mean = 300;
+  rp.insert_sd = 10;
+  rp.junk_fraction = 0.0;
+  rp.grouped = false;  // keep pair adjacency
+  const auto reads = simulate_reads(g, rp);
+  // Consecutive mates: |pos difference| ~ insert - read_len.
+  std::size_t paired_ok = 0, pairs = 0;
+  for (std::size_t i = 0; i + 1 < reads.size(); i += 2) {
+    const auto a = parse_read_truth(reads[i].name);
+    const auto b = parse_read_truth(reads[i + 1].name);
+    const auto dist = a.pos < b.pos ? b.pos - a.pos : a.pos - b.pos;
+    ++pairs;
+    if (dist >= 140 && dist <= 260 && a.reverse != b.reverse) ++paired_ok;
+  }
+  EXPECT_GT(static_cast<double>(paired_ok) / static_cast<double>(pairs), 0.9);
+}
+
+TEST(ReadSim, RejectsDegenerateInputs) {
+  EXPECT_THROW(simulate_reads("ACG", {.read_len = 100}), std::invalid_argument);
+  ReadSimParams zero;
+  zero.read_len = 0;
+  EXPECT_THROW(simulate_reads("ACGTACGT", zero), std::invalid_argument);
+}
+
+}  // namespace

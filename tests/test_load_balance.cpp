@@ -1,0 +1,94 @@
+#include "core/load_balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace mera::core;
+
+TEST(Permute, IsDeterministicPerSeed) {
+  std::vector<int> a(1000), b(1000);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  permute_queries(a, 42);
+  permute_queries(b, 42);
+  EXPECT_EQ(a, b);
+  permute_queries(b, 43);
+  EXPECT_NE(a, b);
+}
+
+TEST(Permute, IsAPermutation) {
+  std::vector<int> v(5000);
+  std::iota(v.begin(), v.end(), 0);
+  permute_queries(v, 7);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 5000; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Permute, ActuallyShuffles) {
+  std::vector<int> v(1000);
+  std::iota(v.begin(), v.end(), 0);
+  permute_queries(v, 9);
+  int fixed_points = 0;
+  for (int i = 0; i < 1000; ++i)
+    fixed_points += v[static_cast<std::size_t>(i)] == i ? 1 : 0;
+  EXPECT_LT(fixed_points, 20);  // E[fixed points] = 1
+}
+
+TEST(Permute, HandlesDegenerateSizes) {
+  std::vector<int> empty;
+  permute_queries(empty, 1);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{5};
+  permute_queries(one, 1);
+  EXPECT_EQ(one[0], 5);
+}
+
+TEST(Theorem1, BoundHoldsWithHighProbabilityMonteCarlo) {
+  // h slow queries onto p processors, h >> p log p: max load <= bound whp.
+  const struct {
+    std::uint64_t h;
+    int p;
+  } cases[] = {{10'000, 16}, {50'000, 64}, {100'000, 128}};
+  for (const auto& c : cases) {
+    const double bound = max_load_bound(c.h, c.p);
+    int violations = 0;
+    for (std::uint64_t trial = 0; trial < 50; ++trial)
+      if (static_cast<double>(simulate_max_load(c.h, c.p, trial)) > bound)
+        ++violations;
+    EXPECT_LE(violations, 1) << "h=" << c.h << " p=" << c.p;
+  }
+}
+
+TEST(Theorem1, BoundIsNotVacuous) {
+  // The bound must stay within a small factor of the mean in the
+  // h >= p log p regime — otherwise it certifies nothing.
+  const double mean = 100'000.0 / 64.0;
+  EXPECT_LT(max_load_bound(100'000, 64), 2.0 * mean);
+}
+
+TEST(Theorem1, RandomAssignmentBeatsAdversarialGrouping) {
+  // The motivating scenario: grouped input puts all h slow queries on few
+  // processors; random assignment spreads them near-evenly.
+  const std::uint64_t h = 20'000;
+  const int p = 32;
+  // Grouped worst case: the sorted input file concentrates every slow query
+  // into a contiguous block that a block partition hands to ~p/4 processors.
+  const double grouped_max = static_cast<double>(h) / (p / 4);
+  const double random_max = static_cast<double>(simulate_max_load(h, p, 1));
+  EXPECT_LT(random_max, grouped_max / 3.0);
+  EXPECT_LT(random_max, max_load_bound(h, p));
+}
+
+TEST(Theorem1, SingleProcessorDegenerateCase) {
+  EXPECT_DOUBLE_EQ(max_load_bound(500, 1), 500.0);
+  EXPECT_EQ(simulate_max_load(500, 1, 0), 500u);
+}
+
+}  // namespace

@@ -1,0 +1,157 @@
+#include "seq/packed_seq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "seq/dna.hpp"
+
+namespace {
+
+using namespace mera::seq;
+
+std::string random_dna(std::mt19937_64& rng, std::size_t len) {
+  std::string s(len, 'A');
+  for (auto& c : s) c = decode_base(static_cast<std::uint8_t>(rng() & 3u));
+  return s;
+}
+
+TEST(PackedSeq, RoundTripSmall) {
+  for (const char* s : {"", "A", "C", "G", "T", "ACGT", "GATTACA"}) {
+    PackedSeq p{std::string_view(s)};
+    EXPECT_EQ(p.to_string(), s);
+    EXPECT_EQ(p.size(), std::string(s).size());
+  }
+}
+
+TEST(PackedSeq, RoundTripAcrossWordBoundaries) {
+  std::mt19937_64 rng(1);
+  // Lengths straddling the 32-base word boundary and beyond.
+  for (std::size_t len : {31u, 32u, 33u, 63u, 64u, 65u, 100u, 1000u}) {
+    const std::string s = random_dna(rng, len);
+    EXPECT_EQ(PackedSeq(s).to_string(), s) << "len=" << len;
+  }
+}
+
+TEST(PackedSeq, PackedBytesAre4xSmaller) {
+  const std::string s(1024, 'G');
+  const PackedSeq p(s);
+  // 1024 bases = 32 words = 256 bytes: exactly 4x under the ASCII size.
+  EXPECT_EQ(p.packed_bytes(), s.size() / 4);
+}
+
+TEST(PackedSeq, CheckedConstructionRejectsN) {
+  EXPECT_THROW(PackedSeq::from_string_checked("ACGNT"), std::invalid_argument);
+  EXPECT_NO_THROW(PackedSeq::from_string_checked("ACGT"));
+}
+
+TEST(PackedSeq, UncheckedConstructionDegradesNToA) {
+  const PackedSeq p{std::string_view("ANG")};
+  EXPECT_EQ(p.to_string(), "AAG");
+}
+
+TEST(PackedSeq, SubseqMatchesStringSubstr) {
+  std::mt19937_64 rng(2);
+  const std::string s = random_dna(rng, 200);
+  const PackedSeq p(s);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t pos = rng() % s.size();
+    const std::size_t len = rng() % (s.size() - pos);
+    EXPECT_EQ(p.subseq(pos, len).to_string(), s.substr(pos, len));
+    EXPECT_EQ(p.to_string(pos, len), s.substr(pos, len));
+  }
+}
+
+TEST(PackedSeq, SubseqOutOfRangeThrows) {
+  const PackedSeq p{std::string_view("ACGT")};
+  EXPECT_THROW((void)p.subseq(2, 3), std::out_of_range);
+  EXPECT_THROW((void)p.to_string(5, 0), std::out_of_range);
+}
+
+TEST(PackedSeq, ReverseComplementMatchesAsciiReference) {
+  std::mt19937_64 rng(3);
+  for (std::size_t len : {1u, 31u, 32u, 33u, 97u}) {
+    const std::string s = random_dna(rng, len);
+    EXPECT_EQ(PackedSeq(s).reverse_complement().to_string(),
+              reverse_complement(s));
+  }
+}
+
+TEST(PackedSeq, EqualRangeAlignedFastPathAgreesWithScalar) {
+  std::mt19937_64 rng(4);
+  const std::string s = random_dna(rng, 256);
+  const PackedSeq a(s), b(s);
+  // 32-base aligned positions exercise the word-compare fast path.
+  EXPECT_TRUE(PackedSeq::equal_range(a, 0, b, 0, 256));
+  EXPECT_TRUE(PackedSeq::equal_range(a, 32, b, 32, 224));
+  EXPECT_TRUE(PackedSeq::equal_range(a, 32, b, 32, 100));  // ragged tail
+}
+
+TEST(PackedSeq, EqualRangeDetectsSingleMismatch) {
+  std::mt19937_64 rng(5);
+  const std::string s = random_dna(rng, 300);
+  for (std::size_t flip : {0u, 1u, 31u, 32u, 150u, 299u}) {
+    std::string t = s;
+    t[flip] = complement_base(t[flip]);  // guaranteed different base
+    const PackedSeq a(s), b(t);
+    EXPECT_FALSE(PackedSeq::equal_range(a, 0, b, 0, 300)) << "flip=" << flip;
+    EXPECT_EQ(PackedSeq::mismatch_count(a, 0, b, 0, 300), 1u);
+  }
+}
+
+TEST(PackedSeq, EqualRangeUnalignedOffsets) {
+  std::mt19937_64 rng(6);
+  const std::string g = random_dna(rng, 500);
+  const PackedSeq genome(g);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t pos = rng() % 380;
+    const std::size_t len = 1 + rng() % 100;
+    const PackedSeq read(g.substr(pos, len));
+    EXPECT_TRUE(PackedSeq::equal_range(read, 0, genome, pos, len));
+    // Shifted placement should mismatch unless the region is degenerate.
+    if (pos + len + 1 <= g.size() &&
+        g.substr(pos, len) != g.substr(pos + 1, len)) {
+      EXPECT_FALSE(PackedSeq::equal_range(read, 0, genome, pos + 1, len));
+    }
+  }
+}
+
+TEST(PackedSeq, EqualRangeOutOfBoundsIsFalse) {
+  const PackedSeq a{std::string_view("ACGT")}, b{std::string_view("ACGT")};
+  EXPECT_FALSE(PackedSeq::equal_range(a, 2, b, 0, 3));
+  EXPECT_FALSE(PackedSeq::equal_range(a, 0, b, 3, 2));
+}
+
+TEST(PackedSeq, FromWordsRoundTrip) {
+  std::mt19937_64 rng(8);
+  const std::string s = random_dna(rng, 77);
+  const PackedSeq p(s);
+  std::vector<std::uint64_t> words(p.words().begin(), p.words().end());
+  const PackedSeq q = PackedSeq::from_words(std::move(words), 77);
+  EXPECT_EQ(q, p);
+  EXPECT_EQ(q.to_string(), s);
+}
+
+TEST(PackedSeq, FromWordsMasksTailGarbage) {
+  // Tail bits beyond size must be zeroed so equality is well-defined.
+  std::vector<std::uint64_t> words{~0ull};
+  const PackedSeq p = PackedSeq::from_words(std::move(words), 3);
+  EXPECT_EQ(p.to_string(), "TTT");
+  EXPECT_EQ(p, PackedSeq{std::string_view("TTT")});
+}
+
+TEST(PackedSeq, FromWordsTooFewWordsThrows) {
+  EXPECT_THROW(PackedSeq::from_words({}, 1), std::invalid_argument);
+}
+
+TEST(PackedSeq, PushCodeBuildsIncrementally) {
+  PackedSeq p;
+  const std::string s = "TGCATGCA";
+  for (char c : s) p.push_code(encode_base(c));
+  EXPECT_EQ(p.to_string(), s);
+  p.clear();
+  EXPECT_TRUE(p.empty());
+}
+
+}  // namespace

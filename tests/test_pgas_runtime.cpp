@@ -1,0 +1,218 @@
+#include "pgas/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using namespace mera::pgas;
+
+TEST(Topology, NodeArithmetic) {
+  const Topology t(24, 8);
+  EXPECT_EQ(t.nnodes(), 3);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(7), 0);
+  EXPECT_EQ(t.node_of(8), 1);
+  EXPECT_EQ(t.node_of(23), 2);
+  EXPECT_TRUE(t.same_node(0, 7));
+  EXPECT_FALSE(t.same_node(7, 8));
+  EXPECT_EQ(t.leader_of_node(2), 16);
+}
+
+TEST(Topology, RaggedLastNode) {
+  const Topology t(10, 4);
+  EXPECT_EQ(t.nnodes(), 3);
+  EXPECT_EQ(t.node_of(9), 2);
+}
+
+TEST(Topology, RejectsBadArguments) {
+  EXPECT_THROW(Topology(0, 1), std::invalid_argument);
+  EXPECT_THROW(Topology(4, 0), std::invalid_argument);
+}
+
+TEST(Runtime, RunsEveryRankExactlyOnce) {
+  Runtime rt(Topology(8, 4));
+  std::vector<std::atomic<int>> visits(8);
+  rt.run([&](Rank& r) { ++visits[static_cast<std::size_t>(r.id())]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(Runtime, BarrierSynchronizesPhases) {
+  Runtime rt(Topology(6, 3));
+  std::atomic<int> before{0}, violations{0};
+  rt.run([&](Rank& r) {
+    ++before;
+    r.barrier();
+    if (before.load() != 6) ++violations;
+  });
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(Runtime, PhaseReportHasAllPhasesInOrder) {
+  Runtime rt(Topology(4, 2));
+  rt.run([](Rank& r) {
+    r.phase("alpha");
+    r.phase("beta");
+    r.phase("gamma");
+  });
+  const auto& rep = rt.report();
+  // startup + 3 named phases.
+  ASSERT_EQ(rep.phases.size(), 4u);
+  EXPECT_EQ(rep.phases[0].name, "startup");
+  EXPECT_EQ(rep.phases[1].name, "alpha");
+  EXPECT_EQ(rep.phases[3].name, "gamma");
+  EXPECT_NE(rep.find("beta"), nullptr);
+  EXPECT_EQ(rep.find("delta"), nullptr);
+  for (const auto& ph : rep.phases) {
+    EXPECT_EQ(ph.cpu_s.size(), 4u);
+    EXPECT_GE(ph.time_s(), 0.0);
+  }
+}
+
+TEST(Runtime, ChargeAccessClassifiesLocalNodeNetwork) {
+  Runtime rt(Topology(4, 2));  // ranks {0,1} node 0, {2,3} node 1
+  rt.run([](Rank& r) {
+    if (r.id() == 0) {
+      r.charge_access(0, 100);  // local
+      r.charge_access(1, 200);  // same node
+      r.charge_access(2, 300);  // off node
+      EXPECT_EQ(r.stats().local_ops, 1u);
+      EXPECT_EQ(r.stats().node_msgs, 1u);
+      EXPECT_EQ(r.stats().node_bytes, 200u);
+      EXPECT_EQ(r.stats().net_msgs, 1u);
+      EXPECT_EQ(r.stats().net_bytes, 300u);
+      EXPECT_GT(r.stats().comm_time_s, 0.0);
+    }
+  });
+}
+
+TEST(Runtime, OffNodeCostsMoreThanOnNode) {
+  Runtime rt(Topology(4, 2));
+  rt.run([](Rank& r) {
+    if (r.id() != 0) return;
+    const auto& cm = r.cost_model();
+    EXPECT_GT(cm.transfer_time(true, 1024), cm.transfer_time(false, 1024));
+    EXPECT_GT(cm.atomic_time(true), cm.atomic_time(false));
+  });
+}
+
+TEST(Runtime, GetCopiesRemoteData) {
+  Runtime rt(Topology(4, 2));
+  std::vector<std::vector<int>> owned(4);
+  rt.run([&](Rank& r) {
+    auto& mine = owned[static_cast<std::size_t>(r.id())];
+    mine.assign(16, r.id() * 10);
+    r.barrier();
+    // Everyone gets rank 3's data.
+    std::vector<int> dst(16, -1);
+    r.get(3, owned[3].data(), dst.data(), dst.size());
+    for (int v : dst) EXPECT_EQ(v, 30);
+    if (r.id() != 3) {
+      EXPECT_EQ(r.stats().remote_msgs(), 1u);
+    }
+  });
+}
+
+TEST(Runtime, AtomicFetchAddIsGloballyAtomic) {
+  Runtime rt(Topology(8, 4));
+  GlobalCounter counter(0, 0);
+  std::vector<std::uint64_t> seen(8 * 100);
+  rt.run([&](Rank& r) {
+    for (int i = 0; i < 100; ++i) {
+      const auto slot = r.atomic_fetch_add(counter, 1);
+      seen[slot] = 1;
+    }
+  });
+  EXPECT_EQ(counter.load_unsync(), 800u);
+  EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), 0ull), 800u);
+}
+
+TEST(Runtime, AtomicChargesRemoteButNotOwner) {
+  Runtime rt(Topology(2, 1));
+  GlobalCounter counter(0, 0);
+  std::vector<double> comm(2, 0.0);
+  rt.run([&](Rank& r) {
+    r.atomic_fetch_add(counter, 1);
+    comm[static_cast<std::size_t>(r.id())] = r.stats().comm_time_s;
+  });
+  EXPECT_EQ(comm[0], 0.0);   // owner pays nothing
+  EXPECT_GT(comm[1], 0.0);   // remote pays the round trip
+}
+
+TEST(Runtime, ExceptionInOneRankPropagates) {
+  Runtime rt(Topology(4, 2));
+  EXPECT_THROW(rt.run([](Rank& r) {
+                 if (r.id() == 2) throw std::runtime_error("rank 2 boom");
+                 r.barrier();  // others must not deadlock
+               }),
+               std::runtime_error);
+}
+
+TEST(Runtime, SingleRankRunsInline) {
+  Runtime rt(Topology(1, 1));
+  int calls = 0;
+  rt.run([&](Rank& r) {
+    ++calls;
+    r.phase("only");
+    r.barrier();
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(rt.report().phases.back().name, "only");
+}
+
+TEST(Runtime, ChargeTimeAddsModeledSeconds) {
+  Runtime rt(Topology(2, 2));
+  rt.run([](Rank& r) {
+    r.phase("wait");
+    if (r.id() == 0) r.charge_time(1.5);
+  });
+  const auto* ph = rt.report().find("wait");
+  ASSERT_NE(ph, nullptr);
+  EXPECT_GE(ph->comm_max(), 1.5);
+  EXPECT_GE(ph->time_s(), 1.5);
+}
+
+TEST(Runtime, SpmdHelperReturnsReport) {
+  const auto rep = spmd(3, 3, [](Rank& r) { r.phase("x"); });
+  EXPECT_EQ(rep.phases.back().name, "x");
+}
+
+TEST(Runtime, ZeroCostModelChargesNoTime) {
+  Runtime rt(Topology(4, 1), CostModel::zero());
+  rt.run([](Rank& r) {
+    r.charge_access((r.id() + 1) % 4, 1 << 20);
+    EXPECT_EQ(r.stats().comm_time_s, 0.0);
+    EXPECT_EQ(r.stats().net_msgs, 1u);  // traffic still counted
+  });
+}
+
+TEST(PhaseReport, MergeRejectsMismatchedPhases) {
+  std::vector<std::vector<PhaseSample>> samples(2);
+  samples[0].push_back({"a", 1.0, {}});
+  samples[1].push_back({"b", 1.0, {}});
+  EXPECT_THROW(merge_phase_samples(samples), std::logic_error);
+}
+
+TEST(PhaseReport, TimeIsMaxOverRanksSummedOverPhases) {
+  std::vector<std::vector<PhaseSample>> samples(2);
+  CommStats c1;
+  c1.comm_time_s = 2.0;
+  samples[0].push_back({"p1", 1.0, {}});
+  samples[0].push_back({"p2", 5.0, {}});
+  samples[1].push_back({"p1", 3.0, c1});  // 3 cpu + 2 comm = 5
+  samples[1].push_back({"p2", 1.0, {}});
+  const auto rep = merge_phase_samples(samples);
+  EXPECT_DOUBLE_EQ(rep.phases[0].time_s(), 5.0);
+  EXPECT_DOUBLE_EQ(rep.phases[1].time_s(), 5.0);
+  EXPECT_DOUBLE_EQ(rep.total_time_s(), 10.0);
+  EXPECT_DOUBLE_EQ(rep.phases[0].cpu_min(), 1.0);
+  EXPECT_DOUBLE_EQ(rep.phases[0].cpu_max(), 3.0);
+  EXPECT_DOUBLE_EQ(rep.phases[0].total_min(), 1.0);
+  EXPECT_DOUBLE_EQ(rep.phases[0].total_avg(), 3.0);
+}
+
+}  // namespace

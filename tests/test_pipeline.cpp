@@ -1,0 +1,303 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "seq/genome_sim.hpp"
+#include "seq/read_sim.hpp"
+
+namespace {
+
+using namespace mera::core;
+using mera::pgas::Runtime;
+using mera::pgas::Topology;
+using mera::seq::SeqRecord;
+
+struct Workload {
+  std::string genome;
+  std::vector<SeqRecord> contigs;
+  std::vector<SeqRecord> reads;
+};
+
+Workload make_workload(std::size_t genome_len, double depth, int k,
+                       double error_rate = 0.0, double junk = 0.0,
+                       std::uint64_t seed = 1) {
+  Workload w;
+  mera::seq::GenomeParams gp;
+  gp.length = genome_len;
+  gp.repeat_fraction = 0.02;
+  gp.rng_seed = seed;
+  w.genome = simulate_genome(gp);
+  mera::seq::ContigParams cp;
+  cp.rng_seed = seed + 1;
+  w.contigs = chop_into_contigs(w.genome, cp);
+  mera::seq::ReadSimParams rp;
+  rp.read_len = 80;
+  rp.depth = depth;
+  rp.error_rate = error_rate;
+  rp.junk_fraction = junk;
+  rp.n_rate = 0.0;
+  rp.rng_seed = seed + 2;
+  w.reads = simulate_reads(w.genome, rp);
+  (void)k;
+  return w;
+}
+
+AlignerConfig small_config(int k = 21) {
+  AlignerConfig cfg;
+  cfg.k = k;
+  cfg.buffer_S = 64;
+  cfg.fragment_len = 512;
+  cfg.seed_cache_capacity = 1u << 14;
+  cfg.target_cache_bytes = 8u << 20;
+  return cfg;
+}
+
+TEST(Pipeline, ErrorFreeReadsAllAlign) {
+  const auto w = make_workload(40'000, 2.0, 21);
+  Runtime rt(Topology(4, 2));
+  const MerAligner aligner(small_config());
+  const auto res = aligner.align(rt, w.contigs, w.reads);
+
+  EXPECT_EQ(res.stats.reads_processed, w.reads.size());
+  // Reads falling inside a contig must align; only reads straddling contig
+  // gaps can fail. Contigs cover ~95% of the genome here.
+  EXPECT_GT(res.stats.aligned_fraction(), 0.85);
+  EXPECT_GT(res.stats.exact_match_reads, 0u);
+}
+
+TEST(Pipeline, AlignmentsMatchGroundTruthPositions) {
+  const auto w = make_workload(30'000, 1.5, 21);
+  Runtime rt(Topology(4, 2));
+  const MerAligner aligner(small_config());
+  const auto res = aligner.align(rt, w.contigs, w.reads);
+
+  // Map contig name -> genome start for coordinate translation.
+  std::map<std::string, std::size_t> contig_start;
+  for (const auto& c : w.contigs)
+    contig_start[c.name] = mera::seq::parse_contig_truth(c.name).start;
+
+  // Index targets by id via a second pass: target ids follow input order.
+  std::size_t checked = 0, correct = 0;
+  for (const auto& a : res.alignments) {
+    if (!a.exact) continue;  // exact records have unambiguous placement
+    const auto truth = mera::seq::parse_read_truth(a.query_name);
+    const auto& contig = w.contigs[a.target_id];
+    const std::size_t genome_pos = contig_start[contig.name] + a.t_begin;
+    ++checked;
+    if (genome_pos == truth.pos && a.reverse == truth.reverse) ++correct;
+  }
+  ASSERT_GT(checked, 100u);
+  // A read can legitimately exact-match a repeat elsewhere; demand 98%.
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(checked), 0.98);
+}
+
+TEST(Pipeline, ReadsWithErrorsStillAlignViaSW) {
+  const auto w = make_workload(30'000, 2.0, 21, /*error=*/0.01);
+  Runtime rt(Topology(4, 2));
+  const MerAligner aligner(small_config());
+  const auto res = aligner.align(rt, w.contigs, w.reads);
+  EXPECT_GT(res.stats.aligned_fraction(), 0.8);
+  EXPECT_GT(res.stats.sw_calls, 0u);
+  // Erroneous reads can't all use the exact path.
+  EXPECT_LT(res.stats.exact_match_reads, res.stats.reads_aligned);
+}
+
+TEST(Pipeline, JunkReadsDoNotAlign) {
+  const auto w = make_workload(30'000, 2.0, 21, 0.0, /*junk=*/0.2);
+  Runtime rt(Topology(4, 2));
+  const MerAligner aligner(small_config());
+  const auto res = aligner.align(rt, w.contigs, w.reads);
+  std::size_t junk_aligned = 0, junk_total = 0;
+  std::map<std::string, bool> aligned_names;
+  for (const auto& a : res.alignments) aligned_names[a.query_name] = true;
+  for (const auto& r : w.reads) {
+    if (!mera::seq::parse_read_truth(r.name).junk) continue;
+    ++junk_total;
+    junk_aligned += aligned_names.count(r.name) ? 1u : 0u;
+  }
+  ASSERT_GT(junk_total, 50u);
+  EXPECT_LT(static_cast<double>(junk_aligned) / static_cast<double>(junk_total),
+            0.01);
+}
+
+TEST(Pipeline, ResultsAreIdenticalAcrossRankCounts) {
+  // The parallel decomposition must not change *what* is found.
+  const auto w = make_workload(20'000, 1.0, 21);
+  auto run_with = [&](int nranks, int ppn) {
+    Runtime rt(Topology(nranks, ppn));
+    AlignerConfig cfg = small_config();
+    cfg.permute_queries = false;  // keep order comparable
+    const MerAligner aligner(cfg);
+    auto res = aligner.align(rt, w.contigs, w.reads);
+    // Canonical sort for comparison.
+    std::sort(res.alignments.begin(), res.alignments.end(),
+              [](const AlignmentRecord& a, const AlignmentRecord& b) {
+                return std::tie(a.query_name, a.target_id, a.t_begin,
+                                a.reverse) <
+                       std::tie(b.query_name, b.target_id, b.t_begin,
+                                b.reverse);
+              });
+    return res;
+  };
+  const auto r1 = run_with(1, 1);
+  const auto r4 = run_with(4, 2);
+  const auto r6 = run_with(6, 3);
+  ASSERT_EQ(r1.alignments.size(), r4.alignments.size());
+  ASSERT_EQ(r1.alignments.size(), r6.alignments.size());
+  for (std::size_t i = 0; i < r1.alignments.size(); ++i) {
+    EXPECT_EQ(r1.alignments[i].query_name, r4.alignments[i].query_name);
+    EXPECT_EQ(r1.alignments[i].target_id, r4.alignments[i].target_id);
+    EXPECT_EQ(r1.alignments[i].t_begin, r4.alignments[i].t_begin);
+    EXPECT_EQ(r1.alignments[i].score, r6.alignments[i].score);
+  }
+}
+
+TEST(Pipeline, OptimizationsDoNotChangeAlignedReadSet) {
+  // Caches, aggregation and the exact-match path are performance features;
+  // switching them off must leave reads_aligned unchanged.
+  const auto w = make_workload(20'000, 1.0, 21, 0.005);
+  auto aligned_with = [&](auto mutate) {
+    Runtime rt(Topology(4, 2));
+    AlignerConfig cfg = small_config();
+    mutate(cfg);
+    const auto res = MerAligner(cfg).align(rt, w.contigs, w.reads);
+    return res.stats.reads_aligned;
+  };
+  const auto base = aligned_with([](AlignerConfig&) {});
+  EXPECT_EQ(base, aligned_with([](AlignerConfig& c) { c.seed_cache = false; }));
+  EXPECT_EQ(base,
+            aligned_with([](AlignerConfig& c) { c.target_cache = false; }));
+  EXPECT_EQ(base, aligned_with([](AlignerConfig& c) {
+              c.aggregating_stores = false;
+            }));
+  EXPECT_EQ(base, aligned_with([](AlignerConfig& c) { c.exact_match = false; }));
+  EXPECT_EQ(base, aligned_with([](AlignerConfig& c) {
+              c.fragment_len = std::numeric_limits<std::size_t>::max();
+            }));
+}
+
+TEST(Pipeline, ExactMatchOptReducesSWCallsAndLookups) {
+  const auto w = make_workload(40'000, 2.0, 21);
+  auto stats_with = [&](bool exact) {
+    Runtime rt(Topology(4, 2));
+    AlignerConfig cfg = small_config();
+    cfg.exact_match = exact;
+    return MerAligner(cfg).align(rt, w.contigs, w.reads).stats;
+  };
+  const auto on = stats_with(true);
+  const auto off = stats_with(false);
+  EXPECT_LT(on.sw_calls, off.sw_calls / 2);
+  EXPECT_LT(on.seed_lookups, off.seed_lookups / 2);
+  EXPECT_EQ(on.reads_aligned, off.reads_aligned);
+}
+
+TEST(Pipeline, CachesReduceModeledCommunication) {
+  const auto w = make_workload(40'000, 3.0, 21);
+  auto comm_with = [&](bool caches) {
+    Runtime rt(Topology(8, 2));  // 4 nodes -> plenty of off-node traffic
+    AlignerConfig cfg = small_config();
+    cfg.seed_cache = caches;
+    cfg.target_cache = caches;
+    cfg.exact_match = false;      // keep lookup volume comparable
+    cfg.permute_queries = false;  // grouped order = locality the caches exploit
+    const auto res = MerAligner(cfg).align(rt, w.contigs, w.reads);
+    const auto* ph = res.report.find("align");
+    return ph->comm_max();
+  };
+  const double with_cache = comm_with(true);
+  const double without = comm_with(false);
+  EXPECT_LT(with_cache, without * 0.8);
+}
+
+TEST(Pipeline, AggregatingStoresSpeedUpIndexConstruction) {
+  const auto w = make_workload(60'000, 0.5, 21);
+  auto index_comm = [&](bool agg) {
+    Runtime rt(Topology(8, 2));
+    AlignerConfig cfg = small_config();
+    cfg.aggregating_stores = agg;
+    const auto res = MerAligner(cfg).align(rt, w.contigs, w.reads);
+    const auto* ph = res.report.find("index.build");
+    return ph->traffic.remote_msgs() + ph->traffic.atomics;
+  };
+  EXPECT_LT(index_comm(true) * 20, index_comm(false));
+}
+
+TEST(Pipeline, TruncationThresholdCapsWork) {
+  // A highly repetitive genome: max_hits_per_seed bounds SW calls.
+  mera::seq::GenomeParams gp;
+  gp.length = 30'000;
+  gp.repeat_fraction = 0.5;
+  gp.repeat_divergence = 0.0;
+  gp.repeat_unit_len = 500;
+  gp.repeat_families = 1;
+  const std::string genome = simulate_genome(gp);
+  const auto contigs = mera::seq::chop_into_contigs(genome, {});
+  mera::seq::ReadSimParams rp;
+  rp.read_len = 80;
+  rp.depth = 1.0;
+  const auto reads = simulate_reads(genome, rp);
+
+  auto sw_with = [&](std::size_t max_hits) {
+    Runtime rt(Topology(4, 2));
+    AlignerConfig cfg = small_config();
+    cfg.exact_match = false;
+    cfg.max_hits_per_seed = max_hits;
+    return MerAligner(cfg).align(rt, contigs, reads).stats;
+  };
+  const auto strict = sw_with(2);
+  const auto loose = sw_with(64);
+  EXPECT_LT(strict.sw_calls, loose.sw_calls);
+  EXPECT_GT(strict.hits_truncated, 0u);
+}
+
+TEST(Pipeline, PhaseReportContainsAllPipelinePhases) {
+  const auto w = make_workload(10'000, 0.5, 21);
+  Runtime rt(Topology(2, 2));
+  const auto res = MerAligner(small_config()).align(rt, w.contigs, w.reads);
+  for (const char* name :
+       {"io.targets", "index.build", "index.mark", "io.reads", "align"})
+    EXPECT_NE(res.report.find(name), nullptr) << name;
+  EXPECT_GT(res.total_time_s(), 0.0);
+  EXPECT_GT(res.index_entries, 0u);
+  EXPECT_GT(res.single_copy_fraction, 0.0);
+}
+
+TEST(Pipeline, CollectAlignmentsOffKeepsCountsOnly) {
+  const auto w = make_workload(10'000, 0.5, 21);
+  Runtime rt(Topology(2, 2));
+  AlignerConfig cfg = small_config();
+  cfg.collect_alignments = false;
+  const auto res = MerAligner(cfg).align(rt, w.contigs, w.reads);
+  EXPECT_TRUE(res.alignments.empty());
+  EXPECT_GT(res.stats.alignments_reported, 0u);
+}
+
+TEST(Pipeline, FragmentationIncreasesSingleCopyFraction) {
+  // Repeat-bearing genome: finer fragments keep more of the index eligible
+  // for the Lemma-1 path (the point of Section IV-A's fragmentation).
+  mera::seq::GenomeParams gp;
+  gp.length = 60'000;
+  gp.repeat_fraction = 0.15;
+  gp.repeat_divergence = 0.0;
+  const std::string genome = simulate_genome(gp);
+  const auto contigs = mera::seq::chop_into_contigs(genome, {});
+  mera::seq::ReadSimParams rp;
+  rp.read_len = 80;
+  rp.depth = 0.2;
+  const auto reads = simulate_reads(genome, rp);
+
+  auto frac_with = [&](std::size_t flen) {
+    Runtime rt(Topology(4, 2));
+    AlignerConfig cfg = small_config();
+    cfg.fragment_len = flen;
+    return MerAligner(cfg).align(rt, contigs, reads).single_copy_fraction;
+  };
+  const double fine = frac_with(256);
+  const double whole = frac_with(std::numeric_limits<std::size_t>::max());
+  EXPECT_GT(fine, whole);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "align/blosum.hpp"
+#include "seq/protein.hpp"
+
+namespace {
+
+using namespace mera;
+
+TEST(Protein, EncodeDecodeRoundTrip) {
+  for (std::size_t i = 0; i < seq::kAminoOrder.size(); ++i) {
+    const char c = seq::kAminoOrder[i];
+    EXPECT_EQ(seq::encode_amino(c), i) << c;
+    EXPECT_EQ(seq::decode_amino(static_cast<std::uint8_t>(i)), c);
+  }
+}
+
+TEST(Protein, LowercaseAndUnknownsMapSensibly) {
+  EXPECT_EQ(seq::encode_amino('a'), seq::encode_amino('A'));
+  EXPECT_EQ(seq::encode_amino('w'), seq::encode_amino('W'));
+  // J/O/U are not in the alphabet -> X.
+  EXPECT_EQ(seq::decode_amino(seq::encode_amino('J')), 'X');
+  EXPECT_EQ(seq::decode_amino(seq::encode_amino('?')), 'X');
+}
+
+TEST(Protein, IsStandardProtein) {
+  EXPECT_TRUE(seq::is_standard_protein("ARNDCQEGHILKMFPSTWYV"));
+  EXPECT_FALSE(seq::is_standard_protein("ARNDX"));
+  EXPECT_FALSE(seq::is_standard_protein("AB"));   // B is ambiguity code
+  EXPECT_FALSE(seq::is_standard_protein("A*"));
+}
+
+TEST(Protein, CodesRoundTripThroughString) {
+  const std::string s = "MKVLAAGGYTRW";
+  EXPECT_EQ(seq::protein_string(seq::protein_codes(s)), s);
+}
+
+TEST(Blosum62, IsSymmetric) {
+  const auto& m = align::blosum62();
+  for (int a = 0; a < 24; ++a)
+    for (int b = 0; b < 24; ++b)
+      EXPECT_EQ(m[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)],
+                m[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)])
+          << a << "," << b;
+}
+
+TEST(Blosum62, KnownEntries) {
+  const auto& m = align::blosum62();
+  const auto at = [&](char x, char y) {
+    return m[seq::encode_amino(x)][seq::encode_amino(y)];
+  };
+  EXPECT_EQ(at('W', 'W'), 11);  // tryptophan self-score is the famous max
+  EXPECT_EQ(at('A', 'A'), 4);
+  EXPECT_EQ(at('C', 'C'), 9);
+  EXPECT_EQ(at('A', 'R'), -1);
+  EXPECT_EQ(at('W', 'C'), -2);
+  EXPECT_EQ(at('I', 'L'), 2);   // conservative substitution scores positive
+  EXPECT_EQ(at('D', 'E'), 2);
+  EXPECT_EQ(at('*', '*'), 1);
+  EXPECT_EQ(at('A', '*'), -4);
+}
+
+TEST(Blosum62, DiagonalDominates) {
+  // Self-substitution must beat substitution for every standard residue.
+  const auto& m = align::blosum62();
+  for (int a = 0; a < 20; ++a)
+    for (int b = 0; b < 20; ++b) {
+      if (a == b) continue;
+      EXPECT_GT(m[static_cast<std::size_t>(a)][static_cast<std::size_t>(a)],
+                m[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)]);
+    }
+}
+
+TEST(ProteinSw, IdentityAlignmentScoresDiagonalSum) {
+  const std::string p = "MKWVTFISLLLLFSSAYS";
+  const auto aln = align::smith_waterman_protein(p, p);
+  const auto& m = align::blosum62();
+  int expect = 0;
+  for (char c : p) expect += m[seq::encode_amino(c)][seq::encode_amino(c)];
+  EXPECT_EQ(aln.score, expect);
+  EXPECT_EQ(aln.cigar.to_string(), std::to_string(p.size()) + "M");
+}
+
+TEST(ProteinSw, FindsConservedDomainInsideJunk) {
+  const std::string domain = "HEAGAWGHEE";  // classic textbook example
+  const std::string target = "PAWHEAE";
+  const auto aln = align::smith_waterman_protein(domain, target,
+                                                 {nullptr, 10, 1});
+  EXPECT_GT(aln.score, 0);
+  EXPECT_LE(aln.cigar.target_span(), target.size());
+}
+
+TEST(ProteinSw, GapPenaltiesShapeAlignment) {
+  // With cheap gaps the aligner bridges the insertion; with expensive gaps
+  // it prefers the best ungapped segment.
+  const std::string q = "MKVLAAGGY";
+  const std::string t = "MKVLAPPPPPPAGGY";
+  const auto cheap = align::smith_waterman_protein(q, t, {nullptr, 2, 1});
+  const auto dear = align::smith_waterman_protein(q, t, {nullptr, 30, 5});
+  EXPECT_GT(cheap.gap_columns, 0);
+  EXPECT_EQ(dear.gap_columns, 0);
+  EXPECT_GE(cheap.score, dear.score);
+}
+
+TEST(ProteinSw, SimilarSequencesBeatRandomOnes) {
+  std::mt19937_64 rng(91);
+  const auto random_protein = [&](std::size_t len) {
+    std::string s(len, 'A');
+    for (auto& c : s) c = seq::kAminoOrder[rng() % 20];
+    return s;
+  };
+  const std::string base = random_protein(80);
+  std::string mutated = base;
+  for (int i = 0; i < 8; ++i)
+    mutated[rng() % mutated.size()] = seq::kAminoOrder[rng() % 20];
+  const int sim = align::smith_waterman_protein(base, mutated).score;
+  const int rnd = align::smith_waterman_protein(base, random_protein(80)).score;
+  EXPECT_GT(sim, 2 * rnd);
+}
+
+TEST(ProteinSw, MatrixScoringAgreesWithDnaKernelOnDnaLikeMatrix) {
+  // A matrix that encodes match=+2 / mismatch=-2 over codes {0..3} must give
+  // the DNA kernel's scores — the engines share one implementation.
+  align::SubstMatrix m{};
+  for (int a = 0; a < 24; ++a)
+    for (int b = 0; b < 24; ++b)
+      m[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+          a == b ? 2 : -2;
+  std::mt19937_64 rng(92);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::uint8_t> q(30 + rng() % 50), t(30 + rng() % 90);
+    for (auto& c : q) c = static_cast<std::uint8_t>(rng() & 3u);
+    for (auto& c : t) c = static_cast<std::uint8_t>(rng() & 3u);
+    const auto dna = align::smith_waterman(
+        std::span<const std::uint8_t>(q), std::span<const std::uint8_t>(t),
+        align::Scoring{2, -2, 3, 1});
+    const auto prot = align::smith_waterman_matrix(
+        std::span<const std::uint8_t>(q), std::span<const std::uint8_t>(t),
+        {&m, 3, 1});
+    EXPECT_EQ(dna.score, prot.score);
+    EXPECT_EQ(dna.cigar, prot.cigar);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,243 @@
+#include "dht/seed_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "seq/kmer.hpp"
+
+namespace {
+
+using namespace mera::dht;
+using mera::pgas::CostModel;
+using mera::pgas::Rank;
+using mera::pgas::Runtime;
+using mera::pgas::Topology;
+using mera::seq::Kmer;
+
+std::string random_dna(std::mt19937_64& rng, std::size_t len) {
+  std::string s(len, 'A');
+  for (auto& c : s) c = "ACGT"[rng() & 3u];
+  return s;
+}
+
+/// Build an index over `seqs` (each sequence treated as one fragment, its
+/// global id = position in the vector); returns ground truth multimap.
+std::multimap<std::string, SeedHit> ground_truth(
+    const std::vector<std::string>& seqs, int k) {
+  std::multimap<std::string, SeedHit> truth;
+  for (std::uint32_t sid = 0; sid < seqs.size(); ++sid)
+    mera::seq::for_each_seed(
+        std::string_view(seqs[sid]), k, [&](std::size_t off, const Kmer& m) {
+          truth.emplace(m.to_string(),
+                        SeedHit{sid, sid, static_cast<std::uint32_t>(off)});
+        });
+  return truth;
+}
+
+void build_index(Runtime& rt, SeedIndex& index,
+                 const std::vector<std::string>& seqs, int k) {
+  rt.run([&](Rank& r) {
+    // Block-partition the sequences over ranks.
+    const std::size_t n = seqs.size();
+    const auto me = static_cast<std::size_t>(r.id());
+    const auto p = static_cast<std::size_t>(r.nranks());
+    const std::size_t lo = n * me / p, hi = n * (me + 1) / p;
+    for (std::size_t s = lo; s < hi; ++s)
+      mera::seq::for_each_seed(std::string_view(seqs[s]), k,
+                               [&](std::size_t, const Kmer& m) {
+                                 index.count_seed(r, m);
+                               });
+    index.finish_count(r);
+    for (std::size_t s = lo; s < hi; ++s)
+      mera::seq::for_each_seed(
+          std::string_view(seqs[s]), k, [&](std::size_t off, const Kmer& m) {
+            index.insert(r, m,
+                         SeedHit{static_cast<std::uint32_t>(s),
+                                 static_cast<std::uint32_t>(s),
+                                 static_cast<std::uint32_t>(off)});
+          });
+    index.finish_insert(r);
+  });
+}
+
+class SeedIndexModes : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SeedIndexModes, LookupReturnsExactlyTheInsertedHits) {
+  const bool aggregating = GetParam();
+  std::mt19937_64 rng(21);
+  std::vector<std::string> seqs;
+  for (int i = 0; i < 12; ++i) seqs.push_back(random_dna(rng, 400));
+  // Force duplicates: copy a chunk of seq 0 into seq 1.
+  seqs[1].replace(10, 100, seqs[0].substr(50, 100));
+  const int k = 21;
+
+  Runtime rt(Topology(6, 3));
+  SeedIndex index(rt.topo(), {k, aggregating, /*buffer_S=*/16});
+  build_index(rt, index, seqs, k);
+
+  const auto truth = ground_truth(seqs, k);
+  EXPECT_EQ(index.total_entries(), truth.size());
+
+  // Every rank can look up every seed and gets exactly the true hit set.
+  rt.run([&](Rank& r) {
+    if (r.id() != 0 && r.id() != 5) return;
+    std::string last_key;
+    for (auto it = truth.begin(); it != truth.end(); ++it) {
+      if (it->first == last_key) continue;  // one query per distinct seed
+      last_key = it->first;
+      const auto m = Kmer::from_ascii(it->first);
+      std::vector<SeedHit> hits;
+      const std::size_t total = index.lookup(r, *m, 1000, hits);
+      const auto range = truth.equal_range(it->first);
+      std::vector<SeedHit> expect;
+      for (auto e = range.first; e != range.second; ++e)
+        expect.push_back(e->second);
+      ASSERT_EQ(total, expect.size()) << it->first;
+      ASSERT_EQ(hits.size(), expect.size());
+      // Order-insensitive comparison.
+      for (const auto& h : expect)
+        EXPECT_NE(std::find(hits.begin(), hits.end(), h), hits.end());
+    }
+  });
+}
+
+TEST_P(SeedIndexModes, AbsentSeedReturnsZero) {
+  const bool aggregating = GetParam();
+  Runtime rt(Topology(4, 2));
+  SeedIndex index(rt.topo(), {5, aggregating, 8});
+  std::vector<std::string> seqs{"ACGTACGTAC"};
+  build_index(rt, index, seqs, 5);
+  rt.run([&](Rank& r) {
+    std::vector<SeedHit> hits;
+    EXPECT_EQ(index.lookup(r, *Kmer::from_ascii("TTTTT"), 10, hits), 0u);
+    EXPECT_TRUE(hits.empty());
+  });
+}
+
+TEST_P(SeedIndexModes, MaxHitsTruncatesButReportsTotal) {
+  const bool aggregating = GetParam();
+  Runtime rt(Topology(4, 2));
+  const int k = 7;
+  // 20 copies of the same sequence => every seed occurs 20 times.
+  std::vector<std::string> seqs(20, "ACGTACGTACGTACG");
+  SeedIndex index(rt.topo(), {k, aggregating, 4});
+  build_index(rt, index, seqs, k);
+  rt.run([&](Rank& r) {
+    if (r.id() != 0) return;
+    std::vector<SeedHit> hits;
+    const std::size_t total =
+        index.lookup(r, *Kmer::from_ascii("ACGTACG"), 5, hits);
+    EXPECT_EQ(total, 60u);  // seed occurs at pos 0, 4 and 8 in each copy
+    EXPECT_EQ(hits.size(), 5u);
+  });
+}
+
+TEST_P(SeedIndexModes, DuplicateHitsAreMarkedNonUnique) {
+  const bool aggregating = GetParam();
+  Runtime rt(Topology(3, 3));
+  const int k = 9;
+  std::mt19937_64 rng(22);
+  std::vector<std::string> seqs{random_dna(rng, 120), random_dna(rng, 120)};
+  seqs.push_back(seqs[0].substr(0, 60));  // seq 2 duplicates half of seq 0
+  SeedIndex index(rt.topo(), {k, aggregating, 8});
+  build_index(rt, index, seqs, k);
+
+  const auto truth = ground_truth(seqs, k);
+  std::map<std::string, std::size_t> counts;
+  for (const auto& [key, hit] : truth) ++counts[key];
+
+  // Gather all duplicate-flagged fragment ids across ranks.
+  std::vector<std::uint32_t> dup_frags;
+  std::mutex mu;
+  rt.run([&](Rank& r) {
+    index.for_each_local_duplicate_hit(r, [&](const SeedHit& h) {
+      const std::scoped_lock lk(mu);
+      dup_frags.push_back(h.fragment_id);
+    });
+  });
+
+  std::size_t expected_dup_entries = 0;
+  for (const auto& [key, c] : counts)
+    if (c > 1) expected_dup_entries += c;
+  EXPECT_EQ(dup_frags.size(), expected_dup_entries);
+  // Fragment 1 (unrelated random sequence) should not appear.
+  for (auto f : dup_frags) EXPECT_NE(f, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothConstructionModes, SeedIndexModes,
+                         ::testing::Values(false, true),
+                         [](const auto& info) {
+                           return info.param ? "aggregating" : "naive";
+                         });
+
+TEST(SeedIndex, AggregatingModeSendsFarFewerMessages) {
+  std::mt19937_64 rng(23);
+  std::vector<std::string> seqs;
+  for (int i = 0; i < 8; ++i) seqs.push_back(random_dna(rng, 600));
+  const int k = 15;
+
+  auto traffic = [&](bool aggregating) {
+    Runtime rt(Topology(8, 4));
+    SeedIndex index(rt.topo(), {k, aggregating, 100});
+    build_index(rt, index, seqs, k);
+    std::uint64_t msgs = 0, atomics = 0;
+    for (const auto& ph : rt.report().phases) {
+      msgs += ph.traffic.remote_msgs();
+      atomics += ph.traffic.atomics;
+    }
+    return std::pair{msgs, atomics};
+  };
+
+  const auto [naive_msgs, naive_atomics] = traffic(false);
+  const auto [agg_msgs, agg_atomics] = traffic(true);
+  // ~S-fold reduction (S=100; partial flushes erode it slightly).
+  EXPECT_GT(naive_msgs, 20 * agg_msgs);
+  EXPECT_GT(naive_atomics, 20 * agg_atomics);
+}
+
+TEST(SeedIndex, DistinctSeedBalanceAcrossRanks) {
+  // djb2 seed-to-processor balance (Section VI-C1).
+  std::mt19937_64 rng(24);
+  std::vector<std::string> seqs;
+  for (int i = 0; i < 16; ++i) seqs.push_back(random_dna(rng, 2000));
+  const int k = 31;
+  Runtime rt(Topology(8, 4));
+  SeedIndex index(rt.topo(), {k, true, 64});
+  build_index(rt, index, seqs, k);
+
+  std::size_t total = 0;
+  for (int r = 0; r < 8; ++r) total += index.local_distinct_seeds(r);
+  const double mean = static_cast<double>(total) / 8.0;
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_GT(index.local_distinct_seeds(r), mean * 0.9) << "rank " << r;
+    EXPECT_LT(index.local_distinct_seeds(r), mean * 1.1) << "rank " << r;
+  }
+}
+
+TEST(SeedIndex, RejectsBadOptions) {
+  const Topology topo(2, 2);
+  EXPECT_THROW(SeedIndex(topo, {0, true, 10}), std::invalid_argument);
+  EXPECT_THROW(SeedIndex(topo, {65, true, 10}), std::invalid_argument);
+  EXPECT_THROW(SeedIndex(topo, {31, true, 0}), std::invalid_argument);
+}
+
+TEST(SeedIndex, SingleRankDegenerateCase) {
+  Runtime rt(Topology(1, 1));
+  SeedIndex index(rt.topo(), {11, true, 1000});
+  std::vector<std::string> seqs{"ACGTACGTACGTACGTACGT"};
+  build_index(rt, index, seqs, 11);
+  EXPECT_EQ(index.total_entries(), 10u);
+  rt.run([&](Rank& r) {
+    std::vector<SeedHit> hits;
+    // "ACGTACGTACG" occurs at offsets 0, 4 and 8 of the periodic sequence.
+    EXPECT_EQ(index.lookup(r, *Kmer::from_ascii("ACGTACGTACG"), 10, hits), 3u);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+#include "seq/seqdb.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <random>
+
+#include "seq/fastq.hpp"
+
+namespace {
+
+using namespace mera::seq;
+
+class SeqDBTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mera_seqdb_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+std::vector<SeqRecord> sample_reads(int n, std::uint64_t seed,
+                                    double n_rate = 0.0) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0, 1);
+  std::vector<SeqRecord> recs;
+  for (int i = 0; i < n; ++i) {
+    SeqRecord r;
+    r.name = "read/" + std::to_string(i);
+    r.seq.resize(50 + rng() % 150);
+    for (auto& c : r.seq)
+      c = unit(rng) < n_rate ? 'N' : "ACGT"[rng() & 3u];
+    r.qual.resize(r.seq.size());
+    for (auto& q : r.qual) q = static_cast<char>('!' + 1 + rng() % 40);
+    recs.push_back(std::move(r));
+  }
+  return recs;
+}
+
+TEST_F(SeqDBTest, RoundTripWithoutQuality) {
+  const auto recs = sample_reads(40, 1);
+  write_seqdb(path("a.sdb"), recs, /*store_quality=*/false);
+  SeqDBReader db(path("a.sdb"));
+  ASSERT_EQ(db.size(), recs.size());
+  EXPECT_FALSE(db.has_quality());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const auto rec = db.read(i);
+    EXPECT_EQ(rec.name, recs[i].name);
+    EXPECT_EQ(rec.seq, recs[i].seq);
+  }
+}
+
+TEST_F(SeqDBTest, RoundTripWithQualityIsLossless) {
+  const auto recs = sample_reads(25, 2);
+  write_seqdb(path("q.sdb"), recs, /*store_quality=*/true);
+  SeqDBReader db(path("q.sdb"));
+  ASSERT_TRUE(db.has_quality());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const auto rec = db.read(i);
+    EXPECT_EQ(rec.qual, recs[i].qual);
+    EXPECT_EQ(rec.seq, recs[i].seq);
+  }
+}
+
+TEST_F(SeqDBTest, NBasesSurviveRoundTrip) {
+  const auto recs = sample_reads(30, 3, /*n_rate=*/0.05);
+  write_seqdb(path("n.sdb"), recs, true);
+  SeqDBReader db(path("n.sdb"));
+  for (std::size_t i = 0; i < recs.size(); ++i)
+    EXPECT_EQ(db.read(i).seq, recs[i].seq) << "record " << i;
+}
+
+TEST_F(SeqDBTest, PackedReadExposesNPositions) {
+  std::vector<SeqRecord> recs{{"r", "ACNNGT", "IIIIII"}};
+  write_seqdb(path("p.sdb"), recs, false);
+  SeqDBReader db(path("p.sdb"));
+  const auto pr = db.read_packed(0);
+  EXPECT_EQ(pr.seq.to_string(), "ACAAGT");  // Ns packed as A
+  ASSERT_EQ(pr.n_pos.size(), 2u);
+  EXPECT_EQ(pr.n_pos[0], 2u);
+  EXPECT_EQ(pr.n_pos[1], 3u);
+}
+
+TEST_F(SeqDBTest, RandomAccessIsOrderIndependent) {
+  const auto recs = sample_reads(50, 4);
+  write_seqdb(path("r.sdb"), recs, false);
+  SeqDBReader db(path("r.sdb"));
+  // Read backwards, then spot-check forward.
+  for (std::size_t i = recs.size(); i-- > 0;)
+    EXPECT_EQ(db.read(i).name, recs[i].name);
+  EXPECT_EQ(db.read(7).seq, recs[7].seq);
+}
+
+TEST_F(SeqDBTest, PartitionsAreBalancedAndComplete) {
+  const auto recs = sample_reads(101, 5);
+  write_seqdb(path("b.sdb"), recs, false);
+  SeqDBReader db(path("b.sdb"));
+  for (int nranks : {1, 2, 7, 13, 101, 200}) {
+    std::size_t covered = 0;
+    std::size_t max_part = 0, min_part = recs.size();
+    for (int r = 0; r < nranks; ++r) {
+      const auto [lo, hi] = db.partition(r, nranks);
+      ASSERT_LE(lo, hi);
+      covered += hi - lo;
+      max_part = std::max(max_part, hi - lo);
+      min_part = std::min(min_part, hi - lo);
+      if (r > 0) {
+        EXPECT_EQ(db.partition(r - 1, nranks).second, lo) << "gap/overlap";
+      }
+    }
+    EXPECT_EQ(covered, recs.size()) << "nranks=" << nranks;
+    EXPECT_LE(max_part - min_part, 1u) << "nranks=" << nranks;
+  }
+}
+
+TEST_F(SeqDBTest, FastqConversionPreservesEverything) {
+  const auto recs = sample_reads(64, 6);
+  // Avoid '@'/'+' leading quality chars that stress the FASTQ heuristic.
+  auto safe = recs;
+  for (auto& r : safe)
+    for (auto& q : r.qual)
+      if (q == '@' || q == '+') q = 'I';
+  write_fastq(path("in.fq"), safe);
+  fastq_to_seqdb(path("in.fq"), path("out.sdb"));
+  SeqDBReader db(path("out.sdb"));
+  ASSERT_EQ(db.size(), safe.size());
+  for (std::size_t i = 0; i < safe.size(); ++i) {
+    const auto rec = db.read(i);
+    EXPECT_EQ(rec.name, safe[i].name);
+    EXPECT_EQ(rec.seq, safe[i].seq);
+    EXPECT_EQ(rec.qual, safe[i].qual);
+  }
+}
+
+TEST_F(SeqDBTest, CompressionBeatsFastqSize) {
+  // The paper quotes SeqDB at ~40-50% of FASTQ; verify we are in that range
+  // for quality-less storage and below 100% with qualities.
+  auto recs = sample_reads(200, 7);
+  for (auto& r : recs) r.seq.resize(101, 'A'), r.qual.resize(101, 'I');
+  write_fastq(path("c.fq"), recs);
+  write_seqdb(path("c_noq.sdb"), recs, false);
+  write_seqdb(path("c_q.sdb"), recs, true);
+  const auto fq = std::filesystem::file_size(path("c.fq"));
+  const auto noq = std::filesystem::file_size(path("c_noq.sdb"));
+  const auto q = std::filesystem::file_size(path("c_q.sdb"));
+  EXPECT_LT(noq, fq / 2);
+  EXPECT_LT(q, fq);
+}
+
+TEST_F(SeqDBTest, BadMagicRejected) {
+  std::ofstream out(path("bad.sdb"), std::ios::binary);
+  out << "NOTASEQDBFILE.................";
+  out.close();
+  EXPECT_THROW(SeqDBReader{path("bad.sdb")}, std::runtime_error);
+}
+
+TEST_F(SeqDBTest, OutOfRangeIndexThrows) {
+  write_seqdb(path("s.sdb"), sample_reads(3, 8), false);
+  SeqDBReader db(path("s.sdb"));
+  EXPECT_THROW((void)db.read_packed(3), std::out_of_range);
+}
+
+TEST_F(SeqDBTest, QualityLengthMismatchRejectedAtWrite) {
+  SeqDBWriter w(path("m.sdb"), true);
+  EXPECT_THROW(w.add({"r", "ACGT", "II"}), std::invalid_argument);
+}
+
+TEST_F(SeqDBTest, EmptyDatabase) {
+  write_seqdb(path("e.sdb"), {}, false);
+  SeqDBReader db(path("e.sdb"));
+  EXPECT_EQ(db.size(), 0u);
+  const auto [lo, hi] = db.partition(0, 4);
+  EXPECT_EQ(lo, hi);
+}
+
+}  // namespace

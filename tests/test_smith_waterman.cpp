@@ -1,0 +1,207 @@
+#include "align/smith_waterman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "seq/dna.hpp"
+
+namespace {
+
+using namespace mera::align;
+
+std::string random_dna(std::mt19937_64& rng, std::size_t len) {
+  std::string s(len, 'A');
+  for (auto& c : s) c = "ACGT"[rng() & 3u];
+  return s;
+}
+
+TEST(SmithWaterman, PerfectMatchScoresMatchTimesLength) {
+  const Scoring sc;
+  const std::string q = "ACGTACGTAC";
+  const auto aln = smith_waterman(q, q, sc);
+  EXPECT_EQ(aln.score, sc.match * static_cast<int>(q.size()));
+  EXPECT_EQ(aln.cigar.to_string(), "10M");
+  EXPECT_EQ(aln.q_begin, 0u);
+  EXPECT_EQ(aln.q_end, q.size());
+  EXPECT_EQ(aln.mismatches, 0);
+}
+
+TEST(SmithWaterman, SubstringIsFoundWithSoftClips) {
+  const Scoring sc;
+  const std::string t = "TTTTTTACGTACGTTTTTTT";
+  const std::string q = "GGACGTACGTGG";  // core matches t[6..14)
+  const auto aln = smith_waterman(q, t, sc);
+  EXPECT_EQ(aln.q_begin, 2u);
+  EXPECT_EQ(aln.q_end, 10u);
+  EXPECT_EQ(aln.t_begin, 6u);
+  EXPECT_EQ(aln.t_end, 14u);
+  EXPECT_EQ(aln.cigar.to_string(), "2S8M2S");
+  EXPECT_EQ(aln.score, 8 * sc.match);
+}
+
+TEST(SmithWaterman, SingleMismatchInMiddle) {
+  const Scoring sc;
+  std::string q = "ACGTACGTACGTACGTACGT";
+  std::string t = q;
+  t[10] = mera::seq::complement_base(t[10]);
+  const auto aln = smith_waterman(q, t, sc);
+  // Full-length alignment with one mismatch beats clipping for these scores.
+  EXPECT_EQ(aln.score, 19 * sc.match + sc.mismatch);
+  EXPECT_EQ(aln.mismatches, 1);
+  EXPECT_EQ(aln.cigar.to_string(), "20M");
+}
+
+TEST(SmithWaterman, DeletionInQueryProducesD) {
+  const Scoring sc;
+  const std::string t = "ACGTACGTTTACGTACGT";
+  // Query = target with the middle "TT" removed => 2-base deletion (in
+  // query relative to target).
+  const std::string q = "ACGTACGTACGTACGT";
+  const auto aln = smith_waterman(q, t, sc);
+  // Gap placement can tie (the deleted TT may slide); check structure.
+  EXPECT_NE(aln.cigar.to_string().find("2D"), std::string::npos)
+      << aln.cigar.to_string();
+  EXPECT_EQ(aln.score, 16 * sc.match - (sc.gap_open + 2 * sc.gap_extend));
+  EXPECT_EQ(aln.gap_columns, 2);
+  EXPECT_EQ(aln.cigar.target_span(), 18u);
+}
+
+TEST(SmithWaterman, InsertionInQueryProducesI) {
+  const Scoring sc;
+  const std::string t = "ACGTACGTACGTACGT";
+  const std::string q = "ACGTACGTTTACGTACGT";  // extra TT in query
+  const auto aln = smith_waterman(q, t, sc);
+  EXPECT_NE(aln.cigar.to_string().find("2I"), std::string::npos)
+      << aln.cigar.to_string();
+  EXPECT_EQ(aln.gap_columns, 2);
+  EXPECT_EQ(aln.cigar.target_span(), 16u);
+}
+
+TEST(SmithWaterman, NoPositiveAlignmentIsAllSoftClip) {
+  const auto aln = smith_waterman("AAAA", "TTTT", Scoring{});
+  EXPECT_EQ(aln.score, 0);
+  EXPECT_TRUE(aln.empty());
+  EXPECT_EQ(aln.cigar.to_string(), "4S");
+}
+
+TEST(SmithWaterman, EmptyInputs) {
+  EXPECT_EQ(smith_waterman("", "ACGT", Scoring{}).score, 0);
+  EXPECT_EQ(smith_waterman("ACGT", "", Scoring{}).score, 0);
+}
+
+TEST(SmithWaterman, ScoreMatchesScoreOnlyReference) {
+  std::mt19937_64 rng(31);
+  const Scoring sc;
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto q = dna_codes(random_dna(rng, 20 + rng() % 80));
+    const auto t = dna_codes(random_dna(rng, 20 + rng() % 200));
+    const auto aln = smith_waterman(std::span<const std::uint8_t>(q),
+                                    std::span<const std::uint8_t>(t), sc);
+    EXPECT_EQ(aln.score, sw_score_reference(std::span<const std::uint8_t>(q),
+                                            std::span<const std::uint8_t>(t), sc));
+  }
+}
+
+TEST(SmithWaterman, CigarIsConsistentWithSpansAndScore) {
+  // Property: on random inputs the traceback must (a) consume exactly the
+  // query, (b) consume t_end-t_begin target bases, and (c) re-derive the
+  // reported score when replayed column by column.
+  std::mt19937_64 rng(32);
+  const Scoring sc;
+  for (int trial = 0; trial < 80; ++trial) {
+    const std::string qs = random_dna(rng, 15 + rng() % 60);
+    const std::string ts = random_dna(rng, 30 + rng() % 120);
+    const auto aln = smith_waterman(qs, ts, sc);
+    EXPECT_EQ(aln.cigar.query_span(), qs.size());
+    EXPECT_EQ(aln.cigar.target_span(), aln.t_end - aln.t_begin);
+
+    // Replay.
+    int score = 0, mismatches = 0;
+    std::size_t qi = 0, ti = aln.t_begin;
+    for (const auto& e : aln.cigar.elems()) {
+      switch (e.op) {
+        case CigarOp::kSoftClip:
+          qi += e.len;
+          break;
+        case CigarOp::kMatch:
+          for (std::uint32_t i = 0; i < e.len; ++i, ++qi, ++ti) {
+            if (qs[qi] == ts[ti]) {
+              score += sc.match;
+            } else {
+              score += sc.mismatch;
+              ++mismatches;
+            }
+          }
+          break;
+        case CigarOp::kInsert:
+          score -= sc.gap_open + static_cast<int>(e.len) * sc.gap_extend;
+          qi += e.len;
+          break;
+        case CigarOp::kDelete:
+          score -= sc.gap_open + static_cast<int>(e.len) * sc.gap_extend;
+          ti += e.len;
+          break;
+      }
+    }
+    if (aln.score > 0) {
+      EXPECT_EQ(score, aln.score) << "q=" << qs << " t=" << ts;
+      EXPECT_EQ(mismatches, aln.mismatches);
+    }
+  }
+}
+
+struct ScoringCase {
+  Scoring sc;
+  const char* label;
+};
+
+class SwScoringSchemes : public ::testing::TestWithParam<ScoringCase> {};
+
+TEST_P(SwScoringSchemes, TracebackScoreEqualsDpScore) {
+  std::mt19937_64 rng(33);
+  const Scoring sc = GetParam().sc;
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string qs = random_dna(rng, 20 + rng() % 50);
+    const std::string ts = random_dna(rng, 20 + rng() % 100);
+    const auto aln = smith_waterman(qs, ts, sc);
+    EXPECT_EQ(aln.score, sw_score_reference(
+                             std::span<const std::uint8_t>(dna_codes(qs)),
+                             std::span<const std::uint8_t>(dna_codes(ts)), sc));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CommonSchemes, SwScoringSchemes,
+    ::testing::Values(ScoringCase{{2, -2, 3, 1}, "ssw_default"},
+                      ScoringCase{{1, -3, 5, 2}, "blastn_like"},
+                      ScoringCase{{1, -1, 0, 1}, "lcs_like"},
+                      ScoringCase{{5, -4, 10, 1}, "long_gap_averse"}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(SmithWaterman, AlignmentIsSymmetricUnderSwap) {
+  // score(q,t) == score(t,q) for symmetric substitution scores.
+  std::mt19937_64 rng(34);
+  const Scoring sc;
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string a = random_dna(rng, 30 + rng() % 50);
+    const std::string b = random_dna(rng, 30 + rng() % 50);
+    EXPECT_EQ(smith_waterman(a, b, sc).score, smith_waterman(b, a, sc).score);
+  }
+}
+
+TEST(SmithWaterman, ScoreInvariantUnderReverseComplement) {
+  std::mt19937_64 rng(35);
+  const Scoring sc;
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string q = random_dna(rng, 40);
+    const std::string t = random_dna(rng, 120);
+    EXPECT_EQ(smith_waterman(q, t, sc).score,
+              smith_waterman(mera::seq::reverse_complement(q),
+                             mera::seq::reverse_complement(t), sc)
+                  .score);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,59 @@
+// Minimal flag parsing shared by the command-line tools.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mera::tools {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        const auto eq = a.find('=');
+        if (eq != std::string::npos) {
+          flags_[a.substr(2, eq - 2)] = a.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          flags_[a.substr(2)] = argv[++i];
+        } else {
+          flags_[a.substr(2)] = "1";  // boolean flag
+        }
+      } else {
+        positional_.push_back(std::move(a));
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return flags_.count(name) != 0;
+  }
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& def = "") const {
+    const auto it = flags_.find(name);
+    return it == flags_.end() ? def : it->second;
+  }
+  [[nodiscard]] long get_int(const std::string& name, long def) const {
+    const auto it = flags_.find(name);
+    return it == flags_.end() ? def : std::stol(it->second);
+  }
+  [[nodiscard]] std::string require(const std::string& name) const {
+    const auto it = flags_.find(name);
+    if (it == flags_.end())
+      throw std::runtime_error("missing required flag --" + name);
+    return it->second;
+  }
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mera::tools
