@@ -1,0 +1,59 @@
+# CTest driver for the meraligner_cli golden-file test.
+#
+# Inputs (passed with -D):
+#   CLI     - path to the built meraligner_cli binary
+#   GOLDEN  - checked-in expected SAM (tests/golden/meraligner_cli.sam)
+#   WORKDIR - scratch directory for this run
+#
+# Fixtures are copied into WORKDIR first because the CLI writes a derived
+# .sdb file next to the input FASTQ; the source tree must stay clean.
+cmake_minimum_required(VERSION 3.20)
+
+get_filename_component(FIXTURES ${GOLDEN} DIRECTORY)
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+file(COPY ${FIXTURES}/contigs.fa ${FIXTURES}/reads.fastq DESTINATION ${WORKDIR})
+
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --out ${WORKDIR}/out.sam
+    --k 31 --ranks 4 --ppn 2 --no-permute
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "meraligner_cli exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+# SAM record order is not semantically meaningful (the pipeline emits per-rank
+# batches), so compare sorted line sets. Read names contain ';' (CMake's list
+# separator), so shield them with a placeholder before any list operation —
+# otherwise list(SORT) silently splits records into fragments.
+function(normalize in_path out_path)
+  file(READ ${in_path} content)
+  string(REPLACE ";" "<SEMI>" content "${content}")
+  string(REPLACE "\n" ";" lines "${content}")
+  list(SORT lines)
+  list(JOIN lines "\n" text)
+  string(REPLACE "<SEMI>" ";" text "${text}")
+  file(WRITE ${out_path} "${text}\n")
+endfunction()
+
+normalize(${WORKDIR}/out.sam ${WORKDIR}/out.sorted.sam)
+normalize(${GOLDEN} ${WORKDIR}/golden.sorted.sam)
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${WORKDIR}/out.sorted.sam ${WORKDIR}/golden.sorted.sam
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "SAM output differs from golden file.\n"
+    "  produced: ${WORKDIR}/out.sam\n"
+    "  expected: ${GOLDEN}\n"
+    "If the change is intentional, re-baseline by copying the produced file "
+    "over the golden one (see tests/golden/gen_fixtures.cpp).")
+endif()

@@ -1,5 +1,7 @@
 #include "align/banded_sw.hpp"
 
+#include "test_util.hpp"
+
 #include <gtest/gtest.h>
 
 #include <random>
@@ -9,13 +11,9 @@
 
 namespace {
 
-using namespace mera::align;
+using mera::testutil::random_dna;
 
-std::string random_dna(std::mt19937_64& rng, std::size_t len) {
-  std::string s(len, 'A');
-  for (auto& c : s) c = "ACGT"[rng() & 3u];
-  return s;
-}
+using namespace mera::align;
 
 std::vector<std::uint8_t> codes(const std::string& s) { return dna_codes(s); }
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "core/pipeline.hpp"
 #include "seq/genome_sim.hpp"
 #include "seq/read_sim.hpp"
@@ -141,13 +144,19 @@ TEST(Baseline, PresetsAreOrderedLikeTableII) {
   // Bowtie2-like builds slower than BWA-mem-like; both much slower than
   // merAligner's parallel construction (checked in test_integration).
   const auto w = make_workload(30'000, 0.5);
+  // Phase times are thread-CPU measurements, so under a loaded machine
+  // (parallel ctest) a single run is noisy; take the best of three.
   auto serial_time = [&](const BaselineConfig& base) {
     BaselineConfig cfg = base;
     cfg.threads_per_instance = 2;
-    Runtime rt(Topology(4, 2));
-    return ReplicatedIndexAligner(cfg)
-        .align(rt, w.contigs, w.reads)
-        .serial_index_time_s();
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+      Runtime rt(Topology(4, 2));
+      best = std::min(best, ReplicatedIndexAligner(cfg)
+                                .align(rt, w.contigs, w.reads)
+                                .serial_index_time_s());
+    }
+    return best;
   };
   const double bwa = serial_time(BaselineConfig::bwamem_like(21));
   const double bowtie = serial_time(BaselineConfig::bowtie2_like(21));

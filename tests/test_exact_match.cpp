@@ -1,4 +1,5 @@
 #include "core/exact_match.hpp"
+#include "test_util.hpp"
 
 #include <gtest/gtest.h>
 
@@ -66,12 +67,8 @@ TEST(Lemma1, UniqueSeedImpliesUniqueFullLengthPlacement) {
   }
 
   // Count seed occurrences across all targets.
-  std::map<std::string, int> seed_count;
-  for (const auto& t : targets)
-    mera::seq::for_each_seed(std::string_view(t), k,
-                             [&](std::size_t, const mera::seq::Kmer& m) {
-                               ++seed_count[m.to_string()];
-                             });
+  std::map<std::string, int> seed_count =
+      mera::testutil::seed_counts(targets, k);
 
   for (std::size_t ti = 0; ti < targets.size(); ++ti) {
     // Does target ti have all-unique seeds?

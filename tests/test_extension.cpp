@@ -1,5 +1,7 @@
 #include "align/extension.hpp"
 
+#include "test_util.hpp"
+
 #include <gtest/gtest.h>
 
 #include <random>
@@ -9,14 +11,10 @@
 
 namespace {
 
+using mera::testutil::random_dna;
+
 using namespace mera::align;
 using mera::seq::PackedSeq;
-
-std::string random_dna(std::mt19937_64& rng, std::size_t len) {
-  std::string s(len, 'A');
-  for (auto& c : s) c = "ACGT"[rng() & 3u];
-  return s;
-}
 
 TEST(Extension, PerfectReadExtendsToFullLength) {
   std::mt19937_64 rng(61);

@@ -1,5 +1,7 @@
 #include "seq/kmer.hpp"
 
+#include "test_util.hpp"
+
 #include <gtest/gtest.h>
 
 #include <map>
@@ -11,13 +13,9 @@
 
 namespace {
 
-using namespace mera::seq;
+using mera::testutil::random_dna;
 
-std::string random_dna(std::mt19937_64& rng, std::size_t len) {
-  std::string s(len, 'A');
-  for (auto& c : s) c = decode_base(static_cast<std::uint8_t>(rng() & 3u));
-  return s;
-}
+using namespace mera::seq;
 
 TEST(Kmer, FromAsciiRoundTrip) {
   for (const char* s : {"A", "ACGT", "GATTACA",

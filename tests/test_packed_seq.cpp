@@ -1,5 +1,7 @@
 #include "seq/packed_seq.hpp"
 
+#include "test_util.hpp"
+
 #include <gtest/gtest.h>
 
 #include <random>
@@ -9,13 +11,9 @@
 
 namespace {
 
-using namespace mera::seq;
+using mera::testutil::random_dna;
 
-std::string random_dna(std::mt19937_64& rng, std::size_t len) {
-  std::string s(len, 'A');
-  for (auto& c : s) c = decode_base(static_cast<std::uint8_t>(rng() & 3u));
-  return s;
-}
+using namespace mera::seq;
 
 TEST(PackedSeq, RoundTripSmall) {
   for (const char* s : {"", "A", "C", "G", "T", "ACGT", "GATTACA"}) {

@@ -5,6 +5,7 @@
 
 #include "align/blosum.hpp"
 #include "seq/protein.hpp"
+#include "test_util.hpp"
 
 namespace {
 
@@ -107,17 +108,14 @@ TEST(ProteinSw, GapPenaltiesShapeAlignment) {
 
 TEST(ProteinSw, SimilarSequencesBeatRandomOnes) {
   std::mt19937_64 rng(91);
-  const auto random_protein = [&](std::size_t len) {
-    std::string s(len, 'A');
-    for (auto& c : s) c = seq::kAminoOrder[rng() % 20];
-    return s;
-  };
-  const std::string base = random_protein(80);
+  const std::string base = testutil::random_protein(rng, 80);
   std::string mutated = base;
   for (int i = 0; i < 8; ++i)
     mutated[rng() % mutated.size()] = seq::kAminoOrder[rng() % 20];
   const int sim = align::smith_waterman_protein(base, mutated).score;
-  const int rnd = align::smith_waterman_protein(base, random_protein(80)).score;
+  const int rnd =
+      align::smith_waterman_protein(base, testutil::random_protein(rng, 80))
+          .score;
   EXPECT_GT(sim, 2 * rnd);
 }
 

@@ -1,5 +1,7 @@
 #include "dht/seed_index.hpp"
 
+#include "test_util.hpp"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -13,6 +15,8 @@
 
 namespace {
 
+using mera::testutil::random_dna;
+
 using namespace mera::dht;
 using mera::pgas::CostModel;
 using mera::pgas::Rank;
@@ -20,24 +24,14 @@ using mera::pgas::Runtime;
 using mera::pgas::Topology;
 using mera::seq::Kmer;
 
-std::string random_dna(std::mt19937_64& rng, std::size_t len) {
-  std::string s(len, 'A');
-  for (auto& c : s) c = "ACGT"[rng() & 3u];
-  return s;
-}
-
-/// Build an index over `seqs` (each sequence treated as one fragment, its
-/// global id = position in the vector); returns ground truth multimap.
+/// Ground truth over `seqs` (each sequence treated as one fragment, its
+/// global id = position in the vector), via the shared testutil builder.
 std::multimap<std::string, SeedHit> ground_truth(
     const std::vector<std::string>& seqs, int k) {
-  std::multimap<std::string, SeedHit> truth;
-  for (std::uint32_t sid = 0; sid < seqs.size(); ++sid)
-    mera::seq::for_each_seed(
-        std::string_view(seqs[sid]), k, [&](std::size_t off, const Kmer& m) {
-          truth.emplace(m.to_string(),
-                        SeedHit{sid, sid, static_cast<std::uint32_t>(off)});
-        });
-  return truth;
+  return mera::testutil::seed_ground_truth<SeedHit>(
+      seqs, k, [](std::uint32_t sid, std::size_t off) {
+        return SeedHit{sid, sid, static_cast<std::uint32_t>(off)};
+      });
 }
 
 void build_index(Runtime& rt, SeedIndex& index,

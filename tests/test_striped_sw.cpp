@@ -1,5 +1,7 @@
 #include "align/striped_sw.hpp"
 
+#include "test_util.hpp"
+
 #include <gtest/gtest.h>
 
 #include <random>
@@ -10,13 +12,9 @@
 
 namespace {
 
-using namespace mera::align;
+using mera::testutil::random_dna;
 
-std::string random_dna(std::mt19937_64& rng, std::size_t len) {
-  std::string s(len, 'A');
-  for (auto& c : s) c = "ACGT"[rng() & 3u];
-  return s;
-}
+using namespace mera::align;
 
 TEST(StripedSw, PerfectMatch) {
   const Scoring sc;

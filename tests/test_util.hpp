@@ -1,0 +1,62 @@
+// Shared helpers for the mera test suites: deterministic random sequence
+// generators and seed ground-truth builders that were previously copy-pasted
+// across test files. Everything is header-only and seeded by the caller so
+// each test stays reproducible in isolation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/kmer.hpp"
+#include "seq/protein.hpp"
+
+namespace mera::testutil {
+
+/// Uniform random DNA over {A,C,G,T}.
+inline std::string random_dna(std::mt19937_64& rng, std::size_t len) {
+  std::string s(len, 'A');
+  for (auto& c : s) c = "ACGT"[rng() & 3u];
+  return s;
+}
+
+/// Uniform random protein over the 20 standard amino acids, drawn from the
+/// library's own encoding order so testutil can never diverge from it.
+inline std::string random_protein(std::mt19937_64& rng, std::size_t len) {
+  std::string s(len, 'A');
+  for (auto& c : s) c = seq::kAminoOrder[rng() % 20];
+  return s;
+}
+
+/// Ground-truth seed multimap: seed string -> hit, for every valid k-mer
+/// window of every sequence. `make(sid, off)` builds the mapped value from
+/// the sequence index and the window's offset, so callers can produce their
+/// module's own hit type (e.g. dht::SeedHit).
+template <typename Hit, typename MakeHit>
+std::multimap<std::string, Hit> seed_ground_truth(
+    const std::vector<std::string>& seqs, int k, MakeHit make) {
+  std::multimap<std::string, Hit> truth;
+  for (std::uint32_t sid = 0; sid < seqs.size(); ++sid)
+    seq::for_each_seed(std::string_view(seqs[sid]), k,
+                       [&](std::size_t off, const seq::Kmer& m) {
+                         truth.emplace(m.to_string(), make(sid, off));
+                       });
+  return truth;
+}
+
+/// Occurrence count of each distinct seed across `seqs`.
+inline std::map<std::string, int> seed_counts(
+    const std::vector<std::string>& seqs, int k) {
+  std::map<std::string, int> counts;
+  for (const auto& s : seqs)
+    seq::for_each_seed(std::string_view(s), k,
+                       [&](std::size_t, const seq::Kmer& m) {
+                         ++counts[m.to_string()];
+                       });
+  return counts;
+}
+
+}  // namespace mera::testutil
