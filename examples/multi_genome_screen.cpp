@@ -3,18 +3,58 @@
 // collection too big for any single node's memory can still be indexed and
 // screened against.
 //
-// Scenario: a read set of unknown origin is screened against a collection of
-// reference "genomes" (e.g. a contamination check). Each read is attributed
-// to the reference whose alignment scores best; per-reference read counts
-// identify the sample's composition.
+// Scenario: a screening service. The reference collection is indexed ONCE
+// (core::IndexedReference); then sample after sample is streamed against it
+// through one core::AlignSession — each batch pays only io.reads + align,
+// never index reconstruction, which is what makes per-sample screening cheap.
+// Each read is attributed to the reference whose alignment scores best;
+// per-reference read counts identify every sample's composition.
 #include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "core/pipeline.hpp"
+#include "core/align_session.hpp"
+#include "core/indexed_reference.hpp"
 #include "seq/genome_sim.hpp"
 #include "seq/read_sim.hpp"
+
+namespace {
+
+using mera::seq::SeqRecord;
+
+std::vector<SeqRecord> make_sample(
+    const std::vector<std::string>& genomes,
+    const std::vector<std::pair<int, double>>& mix, double junk_depth,
+    std::uint64_t seed) {
+  std::vector<SeqRecord> sample;
+  for (const auto& [g, depth] : mix) {
+    mera::seq::ReadSimParams rp;
+    rp.read_len = 101;
+    rp.depth = depth;
+    rp.error_rate = 0.01;
+    rp.junk_fraction = 0.0;
+    rp.rng_seed = seed++;
+    for (auto& r : simulate_reads(genomes[static_cast<std::size_t>(g)], rp)) {
+      r.name = "g" + std::to_string(g) + "_" + r.name;
+      sample.push_back(std::move(r));
+    }
+  }
+  if (junk_depth > 0) {
+    mera::seq::ReadSimParams rp;  // junk reads: sampled but fully random
+    rp.read_len = 101;
+    rp.depth = junk_depth;
+    rp.junk_fraction = 1.0;
+    rp.rng_seed = seed;
+    for (auto& r : simulate_reads(genomes[0], rp)) {
+      r.name = "junk_" + r.name;
+      sample.push_back(std::move(r));
+    }
+  }
+  return sample;
+}
+
+}  // namespace
 
 int main() {
   using namespace mera;
@@ -22,88 +62,97 @@ int main() {
   // A reference collection of 6 unrelated "genomes".
   const int kGenomes = 6;
   std::vector<std::string> genomes;
-  std::vector<seq::SeqRecord> references;  // one target per genome here
+  std::vector<SeqRecord> references;  // one target per genome here
   for (int g = 0; g < kGenomes; ++g) {
     genomes.push_back(seq::simulate_genome(
         {.length = 120'000, .repeat_fraction = 0.02,
          .rng_seed = 100 + static_cast<std::uint64_t>(g)}));
-    seq::SeqRecord rec;
+    SeqRecord rec;
     rec.name = "genome" + std::to_string(g) + ":0-" +
                std::to_string(genomes.back().size());
     rec.seq = genomes.back();
     references.push_back(std::move(rec));
   }
 
-  // The sample: 70% genome2, 25% genome5, 5% junk.
-  std::vector<seq::SeqRecord> sample;
-  auto add_reads = [&](int g, double depth, std::uint64_t seed) {
-    seq::ReadSimParams rp;
-    rp.read_len = 101;
-    rp.depth = depth;
-    rp.error_rate = 0.01;
-    rp.junk_fraction = 0.0;
-    rp.rng_seed = seed;
-    for (auto& r : simulate_reads(genomes[static_cast<std::size_t>(g)], rp)) {
-      r.name = "g" + std::to_string(g) + "_" + r.name;
-      sample.push_back(std::move(r));
-    }
-  };
-  add_reads(2, 1.4, 201);
-  add_reads(5, 0.5, 202);
-  {
-    seq::ReadSimParams rp;  // junk reads: sampled but fully random
-    rp.read_len = 101;
-    rp.depth = 0.1;
-    rp.junk_fraction = 1.0;
-    rp.rng_seed = 203;
-    for (auto& r : simulate_reads(genomes[0], rp)) {
-      r.name = "junk_" + r.name;
-      sample.push_back(std::move(r));
-    }
-  }
-  std::printf("screening %zu reads against %d reference genomes (%zu kb total)\n",
-              sample.size(), kGenomes,
-              kGenomes * genomes[0].size() / 1000);
-
-  // Screen: note the whole reference collection is *distributed* — no rank
-  // holds more than its shard of the seed index and targets.
-  core::AlignerConfig cfg;
-  cfg.k = 31;
-  cfg.fragment_len = 4096;
-  cfg.max_hits_per_seed = 8;  // screening favours speed over sensitivity
+  // Index the collection once. Note the whole reference set is *distributed*
+  // — no rank holds more than its shard of the seed index and targets.
+  core::IndexConfig icfg;
+  icfg.k = 31;
+  icfg.fragment_len = 4096;
   pgas::Runtime rt(pgas::Topology(12, 4));
-  const auto res = core::MerAligner(cfg).align(rt, references, sample);
+  const auto ref = core::IndexedReference::build(rt, references, icfg);
+  std::printf(
+      "indexed %d reference genomes (%zu kb) once: %zu index entries, "
+      "%.4f simulated s\n",
+      kGenomes, kGenomes * genomes[0].size() / 1000, ref.index_entries(),
+      ref.build_report().total_time_s());
 
-  // Attribute each read to its best-scoring reference.
-  std::map<std::string, std::pair<std::uint32_t, int>> best;
-  for (const auto& a : res.alignments) {
-    auto& b = best[a.query_name];
-    if (a.score > b.second) b = {a.target_id, a.score};
-  }
-  std::vector<int> per_genome(static_cast<std::size_t>(kGenomes), 0);
-  int unassigned = 0, misattributed = 0;
-  for (const auto& r : sample) {
-    const auto it = best.find(r.name);
-    if (it == best.end()) {
-      ++unassigned;
-      continue;
+  core::SessionConfig scfg;
+  scfg.max_hits_per_seed = 8;  // screening favours speed over sensitivity
+  core::AlignSession session(ref, scfg);
+
+  // Three incoming samples with different (known) compositions.
+  struct Sample {
+    const char* label;
+    std::vector<SeqRecord> reads;
+    const char* expected;
+  };
+  std::vector<Sample> samples;
+  samples.push_back({"sample-1",
+                     make_sample(genomes, {{2, 1.4}, {5, 0.5}}, 0.1, 201),
+                     "~70% genome2, ~25% genome5, ~5% junk"});
+  samples.push_back({"sample-2",
+                     make_sample(genomes, {{0, 0.9}, {3, 0.9}}, 0.0, 301),
+                     "~50% genome0, ~50% genome3"});
+  samples.push_back({"sample-3", make_sample(genomes, {{4, 1.8}}, 0.2, 401),
+                     "~90% genome4, ~10% junk"});
+
+  for (const auto& s : samples) {
+    core::VectorSink sink(rt.nranks());
+    const auto res = session.align_batch(rt, s.reads, sink);
+    const auto alignments = sink.take();
+
+    // The per-batch report proves the index was reused: only io.reads and
+    // align appear, index.build/index.mark belong to the build above.
+    std::printf(
+        "\n=== %s: %zu reads, %.4f simulated s "
+        "(index reused: batch phases =", s.label, s.reads.size(),
+        res.total_time_s());
+    for (const auto& ph : res.report.phases)
+      if (ph.name != "startup") std::printf(" %s", ph.name.c_str());
+    std::printf(") ===\n");
+
+    // Attribute each read to its best-scoring reference.
+    std::map<std::string, std::pair<std::uint32_t, int>> best;
+    for (const auto& a : alignments) {
+      auto& b = best[a.query_name];
+      if (a.score > b.second) b = {a.target_id, a.score};
     }
-    const auto gid = it->second.first;
-    ++per_genome[gid];
-    // Ground truth is encoded in the read name prefix.
-    if (r.name[0] == 'g' &&
-        r.name[1] != static_cast<char>('0' + gid))
-      ++misattributed;
-  }
+    std::vector<int> per_genome(static_cast<std::size_t>(kGenomes), 0);
+    int unassigned = 0, misattributed = 0;
+    for (const auto& r : s.reads) {
+      const auto it = best.find(r.name);
+      if (it == best.end()) {
+        ++unassigned;
+        continue;
+      }
+      const auto gid = it->second.first;
+      ++per_genome[gid];
+      // Ground truth is encoded in the read name prefix.
+      if (r.name[0] == 'g' && r.name[1] != static_cast<char>('0' + gid))
+        ++misattributed;
+    }
 
-  std::printf("\n%-12s %10s %10s\n", "reference", "reads", "share");
-  for (int g = 0; g < kGenomes; ++g)
-    std::printf("genome%-6d %10d %9.1f%%\n", g, per_genome[g],
-                100.0 * per_genome[g] / static_cast<double>(sample.size()));
-  std::printf("%-12s %10d %9.1f%%\n", "unassigned", unassigned,
-              100.0 * unassigned / static_cast<double>(sample.size()));
-  std::printf("\nmisattributed reads: %d (%.2f%%)\n", misattributed,
-              100.0 * misattributed / static_cast<double>(sample.size()));
-  std::printf("expected composition: ~70%% genome2, ~25%% genome5, ~5%% junk\n");
+    std::printf("%-12s %10s %10s\n", "reference", "reads", "share");
+    for (int g = 0; g < kGenomes; ++g)
+      std::printf("genome%-6d %10d %9.1f%%\n", g, per_genome[g],
+                  100.0 * per_genome[g] / static_cast<double>(s.reads.size()));
+    std::printf("%-12s %10d %9.1f%%\n", "unassigned", unassigned,
+                100.0 * unassigned / static_cast<double>(s.reads.size()));
+    std::printf("misattributed: %d (%.2f%%), expected composition: %s\n",
+                misattributed,
+                100.0 * misattributed / static_cast<double>(s.reads.size()),
+                s.expected);
+  }
   return 0;
 }

@@ -85,7 +85,11 @@ LocalAlignment banded_smith_waterman(std::span<const std::uint8_t> query,
     // Cells right of the band in this row must not be read as valid next row.
     if (jhi >= 0 && static_cast<std::size_t>(jhi) < n)
       H[static_cast<std::size_t>(jhi) + 1] = kNegInf;
-    if (jlo > 1) H[static_cast<std::size_t>(jlo) - 1] = kNegInf;
+    // jlo is unclamped above: once the band slides entirely past the target
+    // (jlo > n + 1, e.g. a query much longer than the window), there is no
+    // left-border cell to clear — indexing H there would write out of bounds.
+    if (jlo > 1 && static_cast<std::size_t>(jlo) <= n + 1)
+      H[static_cast<std::size_t>(jlo) - 1] = kNegInf;
   }
 
   out.score = best;

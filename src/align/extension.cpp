@@ -1,12 +1,15 @@
 #include "align/extension.hpp"
 
 #include <algorithm>
+#include <optional>
 
 namespace mera::align {
 
 Extension extend_seed(std::span<const std::uint8_t> query,
                       const seq::PackedSeq& target, std::size_t q_off,
-                      std::size_t t_off, int k, const ExtensionConfig& cfg) {
+                      std::size_t t_off, int k, const ExtensionConfig& cfg,
+                      int screen_min_score,
+                      const StripedSmithWaterman* striped_profile) {
   Extension ext;
   const std::size_t m = query.size();
   if (m == 0 || target.empty() || k <= 0) return ext;
@@ -27,16 +30,36 @@ Extension extend_seed(std::span<const std::uint8_t> query,
   if (proj_begin >= proj_end) return ext;
 
   const auto window = dna_codes(target, proj_begin, proj_end - proj_begin);
-  if (cfg.banded) {
-    // The seed lies on diagonal (t_off - proj_begin) - q_off within the
-    // window; band half-width = window_pad covers the padding budget.
-    const auto diag = static_cast<std::ptrdiff_t>(t_off - proj_begin) -
-                      static_cast<std::ptrdiff_t>(q_off);
-    ext.aln = banded_smith_waterman(query, window, diag,
-                                    std::max<std::size_t>(cfg.window_pad, 8),
-                                    cfg.scoring);
-  } else {
-    ext.aln = smith_waterman(query, window, cfg.scoring);
+  switch (cfg.kernel) {
+    case SwKernel::kBanded: {
+      // The seed lies on diagonal (t_off - proj_begin) - q_off within the
+      // window; band half-width = window_pad covers the padding budget.
+      const auto diag = static_cast<std::ptrdiff_t>(t_off - proj_begin) -
+                        static_cast<std::ptrdiff_t>(q_off);
+      ext.aln = banded_smith_waterman(query, window, diag,
+                                      std::max<std::size_t>(cfg.window_pad, 8),
+                                      cfg.scoring);
+      break;
+    }
+    case SwKernel::kStriped: {
+      // Score-only screen: the striped kernel returns the exact local-maximum
+      // score, so thresholding here rejects precisely the candidates the full
+      // DP would reject — survivors get an identical traceback alignment.
+      std::optional<StripedSmithWaterman> local;
+      if (!striped_profile)
+        local.emplace(query, cfg.scoring);  // one-off caller: build here
+      const StripedResult sr =
+          (striped_profile ? *striped_profile : *local).align(window);
+      if (sr.score < screen_min_score) {
+        ext.aln.score = sr.score;  // empty alignment: screened out
+        return ext;
+      }
+      ext.aln = smith_waterman(query, window, cfg.scoring);
+      break;
+    }
+    case SwKernel::kFullDP:
+      ext.aln = smith_waterman(query, window, cfg.scoring);
+      break;
   }
   ext.aln.t_begin += proj_begin;
   ext.aln.t_end += proj_begin;

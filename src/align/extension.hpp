@@ -13,17 +13,33 @@
 
 #include "align/banded_sw.hpp"
 #include "align/smith_waterman.hpp"
+#include "align/striped_sw.hpp"
 #include "seq/packed_seq.hpp"
 
 namespace mera::align {
+
+/// Which Smith-Waterman kernel performs the in-window alignment. Selectable
+/// per ExtensionConfig (and therefore per aligning batch): sessions can probe
+/// a batch with the cheap screening kernel and re-run hard batches with the
+/// exact one without rebuilding anything.
+enum class SwKernel : std::uint8_t {
+  /// Exact full-window DP with affine-gap traceback (sw_engine) — reference.
+  kFullDP = 0,
+  /// Banded DP around the seed diagonal (band = max(window_pad, 8)).
+  kBanded,
+  /// Farrar striped SIMD score pass (striped_sw) as a pre-screen; candidates
+  /// scoring below the caller's report threshold are rejected without a
+  /// traceback, survivors re-run the full DP for an identical alignment.
+  kStriped,
+};
 
 struct ExtensionConfig {
   Scoring scoring{};
   /// Extra target bases examined on each side of the query's projected span
   /// (allows for indels near the read ends).
   std::size_t window_pad = 16;
-  /// Use the banded kernel (band = window_pad) instead of full-window DP.
-  bool banded = false;
+  /// In-window alignment kernel.
+  SwKernel kernel = SwKernel::kFullDP;
 };
 
 struct Extension {
@@ -34,9 +50,17 @@ struct Extension {
 
 /// Extend a seed match: query[q_off..q_off+k) == target[t_off..t_off+k).
 /// Returns an alignment whose t_begin/t_end are in full-target coordinates.
-[[nodiscard]] Extension extend_seed(std::span<const std::uint8_t> query,
-                                    const seq::PackedSeq& target,
-                                    std::size_t q_off, std::size_t t_off,
-                                    int k, const ExtensionConfig& cfg = {});
+/// `screen_min_score` is the caller's reporting threshold: the kStriped
+/// backend skips the traceback DP for candidates whose (exact) striped score
+/// falls below it — such results carry the score but an empty alignment.
+/// `striped_profile`, when given, must be the profile of `query` under
+/// `cfg.scoring`; it lets a caller extending one query against many
+/// candidates build the striped profile once instead of per call (the
+/// profile is query-only state). Ignored by the other kernels.
+[[nodiscard]] Extension extend_seed(
+    std::span<const std::uint8_t> query, const seq::PackedSeq& target,
+    std::size_t q_off, std::size_t t_off, int k,
+    const ExtensionConfig& cfg = {}, int screen_min_score = 0,
+    const StripedSmithWaterman* striped_profile = nullptr);
 
 }  // namespace mera::align

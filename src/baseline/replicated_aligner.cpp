@@ -1,6 +1,7 @@
 #include "baseline/replicated_aligner.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -70,6 +71,9 @@ void map_read(pgas::Rank& rank, Shared& sh, const seq::SeqRecord& read,
     const std::string oriented =
         strand == 0 ? read.seq : seq::reverse_complement(read.seq);
     const auto qcodes = align::dna_codes(oriented);
+    // Query-only state: at most one striped profile per oriented query,
+    // built lazily on the first candidate.
+    std::optional<align::StripedSmithWaterman> striped;
     seq::for_each_seed(
         std::string_view(oriented), k,
         [&](std::size_t q_off, const seq::Kmer& m) {
@@ -90,10 +94,14 @@ void map_read(pgas::Rank& rank, Shared& sh, const seq::SeqRecord& read,
                 (static_cast<std::uint64_t>(diag + (1ll << 28)) >> 3);
             if (!seen.insert(key).second) continue;
             ++st.target_fetches;  // replica-local: no communication
+            if (sh.cfg.extension.kernel == align::SwKernel::kStriped &&
+                !striped)
+              striped.emplace(std::span<const std::uint8_t>(qcodes),
+                              sh.cfg.extension.scoring);
             const auto ext = align::extend_seed(
                 std::span<const std::uint8_t>(qcodes),
                 sh.packed_targets[h.target_id], q_off, h.t_pos, k,
-                sh.cfg.extension);
+                sh.cfg.extension, min_score, striped ? &*striped : nullptr);
             ++st.sw_calls;
             if (ext.aln.score >= min_score && !ext.aln.empty()) {
               ++found;

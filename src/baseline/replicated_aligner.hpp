@@ -43,6 +43,8 @@ struct BaselineConfig {
   /// Include pMap's master-scatter read-partitioning phase in the report.
   bool include_read_partition = false;
   std::size_t max_hits_per_seed = 32;
+  /// Seed-extension settings; extension.kernel selects the SW backend
+  /// (full-DP / banded / striped), same selector the session API exposes.
   align::ExtensionConfig extension{};
   int min_report_score = -1;  ///< -1 = auto (match * k)
 

@@ -35,6 +35,21 @@ struct CacheCounters {
     const auto total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
   }
+
+  /// Counters are cumulative over a cache's lifetime; sessions subtract a
+  /// batch-start snapshot to report per-batch activity.
+  CacheCounters& operator-=(const CacheCounters& o) noexcept {
+    hits -= o.hits;
+    misses -= o.misses;
+    insertions -= o.insertions;
+    evictions -= o.evictions;
+    return *this;
+  }
+  friend CacheCounters operator-(CacheCounters a,
+                                 const CacheCounters& b) noexcept {
+    a -= b;
+    return a;
+  }
 };
 
 class SeedIndexCache {

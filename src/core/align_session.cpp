@@ -1,0 +1,342 @@
+#include "core/align_session.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "core/exact_match.hpp"
+#include "core/load_balance.hpp"
+#include "seq/kmer.hpp"
+#include "seq/seqdb.hpp"
+
+namespace mera::core {
+
+namespace {
+
+/// Everything the per-batch rank bodies share. Built on the driving thread
+/// before Runtime::run(); ranks touch only their own slots or read-only data.
+struct BatchShared {
+  const SessionConfig& cfg;
+  const TargetStore& store;
+  const dht::SeedIndex& index;
+  int k;                ///< seed length (from the reference's IndexConfig)
+  bool use_exact;       ///< Lemma-1 path: requested AND the index is marked
+  cache::SeedIndexCache* scache;  ///< session-owned; null when disabled
+  cache::TargetCache* tcache;
+  AlignmentSink& sink;
+  std::vector<PipelineStats> stats;
+
+  // Input plumbing: exactly one of the two is used.
+  std::span<const seq::SeqRecord> mem_reads;
+  std::string reads_seqdb_path;
+  /// Permuted record-index assignment for the file path (Section IV-B),
+  /// computed once on the driving thread; empty = natural order.
+  std::span<const std::uint64_t> file_perm;
+};
+
+/// Per-rank aligning-phase worker (seed-and-extend with caches, the Lemma-1
+/// fast path and the max-hits threshold — the second half of Algorithm 1).
+class RankAligner {
+ public:
+  RankAligner(pgas::Rank& rank, BatchShared& sh)
+      : rank_(rank), sh_(sh), st_(sh.stats[static_cast<std::size_t>(rank.id())]) {
+    min_score_ = sh.cfg.min_report_score >= 0
+                     ? sh.cfg.min_report_score
+                     : sh.cfg.extension.scoring.match * sh.k;
+  }
+
+  void align_read(const seq::SeqRecord& read) {
+    ++st_.reads_processed;
+    read_ = &read;
+    records_this_read_ = 0;
+    seen_.clear();
+    const bool done = align_strand(read.name, read.seq, /*reverse=*/false);
+    if (!done) {
+      const std::string rc = seq::reverse_complement(read.seq);
+      align_strand(read.name, rc, /*reverse=*/true);
+    }
+    if (records_this_read_ > 0) ++st_.reads_aligned;
+  }
+
+ private:
+  /// Returns true when the Lemma-1 fast path resolved the read completely.
+  bool align_strand(const std::string& name, const std::string& oriented,
+                    bool reverse) {
+    const std::size_t qlen = oriented.size();
+    const int k = sh_.k;
+    if (qlen < static_cast<std::size_t>(k)) return false;
+    const bool has_n = oriented.find('N') != std::string::npos;
+    const seq::PackedSeq qpacked(oriented);
+    const auto qcodes = align::dna_codes(oriented);
+    // The striped profile is query-only state: built at most once per
+    // oriented query (lazily, on the first candidate — most junk reads never
+    // produce one) and reused across every candidate this strand probes.
+    std::optional<align::StripedSmithWaterman> striped;
+
+    bool exact_done = false;
+    bool exact_tried = false;
+    std::vector<dht::SeedHit> hits;
+    seq::for_each_seed(std::string_view(oriented), k, [&](std::size_t q_off,
+                                                          const seq::Kmer& m) {
+      if (exact_done) return;
+      if (sh_.cfg.seed_stride > 1 && q_off % sh_.cfg.seed_stride != 0) return;
+      hits.clear();
+      const std::size_t total = lookup_seed(m, hits);
+      if (total == 0) return;
+
+      // Exact-match fast path: try the first candidate of the first seed
+      // that produced one (Section IV-A; cost model t_q' in IV-B).
+      if (sh_.use_exact && !exact_tried && !has_n) {
+        exact_tried = true;
+        const dht::SeedHit& h0 = hits.front();
+        const Target& t = fetch_target_cached(h0.target_id);
+        // The fragment's flag travels with the target fetch (one message).
+        const Fragment& frag = sh_.store.fragment_unsync(h0.fragment_id);
+        if (frag.single_copy_seeds.load(std::memory_order_relaxed)) {
+          if (const auto pl = exact_placement(h0, q_off, qlen, t.seq.size())) {
+            ++st_.memcmp_calls;
+            if (exact_compare(qpacked, t.seq, *pl)) {
+              AlignmentRecord rec;
+              rec.query_name = name;
+              rec.target_id = pl->target_id;
+              rec.reverse = reverse;
+              rec.score = sh_.cfg.extension.scoring.match *
+                          static_cast<int>(qlen);
+              rec.q_begin = 0;
+              rec.q_end = qlen;
+              rec.t_begin = pl->t_begin;
+              rec.t_end = pl->t_begin + qlen;
+              rec.cigar = std::to_string(qlen) + "M";
+              rec.exact = true;
+              emit(std::move(rec));
+              ++st_.exact_match_reads;
+              exact_done = true;
+              return;
+            }
+          }
+        }
+      }
+
+      for (const dht::SeedHit& h : hits) {
+        // One extension per (target, diagonal) candidate; nearby diagonals
+        // collapse so indels don't spawn duplicates.
+        const std::int64_t diag = static_cast<std::int64_t>(h.t_pos) -
+                                  static_cast<std::int64_t>(q_off);
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(h.target_id) << 33) |
+            (static_cast<std::uint64_t>(reverse) << 32) |
+            (static_cast<std::uint64_t>(diag + (1ll << 28)) >> 3);
+        if (!seen_.insert(key).second) continue;
+        const Target& t = fetch_target_cached(h.target_id);
+        if (sh_.cfg.extension.kernel == align::SwKernel::kStriped && !striped)
+          striped.emplace(std::span<const std::uint8_t>(qcodes),
+                          sh_.cfg.extension.scoring);
+        const auto ext =
+            align::extend_seed(std::span<const std::uint8_t>(qcodes), t.seq,
+                               q_off, h.t_pos, k, sh_.cfg.extension,
+                               min_score_, striped ? &*striped : nullptr);
+        ++st_.sw_calls;
+        if (ext.aln.score >= min_score_ && !ext.aln.empty()) {
+          AlignmentRecord rec;
+          rec.query_name = name;
+          rec.target_id = h.target_id;
+          rec.reverse = reverse;
+          rec.score = ext.aln.score;
+          rec.q_begin = ext.aln.q_begin;
+          rec.q_end = ext.aln.q_end;
+          rec.t_begin = ext.aln.t_begin;
+          rec.t_end = ext.aln.t_end;
+          rec.cigar = ext.aln.cigar.to_string();
+          rec.mismatches = ext.aln.mismatches;
+          emit(std::move(rec));
+        }
+      }
+    });
+    return exact_done;
+  }
+
+  std::size_t lookup_seed(const seq::Kmer& m, std::vector<dht::SeedHit>& hits) {
+    ++st_.seed_lookups;
+    const int owner = sh_.index.owner_of(m);
+    const bool off_node = !rank_.topo().same_node(owner, rank_.id());
+    const int my_node = rank_.node();
+    std::size_t total = 0;
+    if (sh_.scache && off_node &&
+        sh_.scache->lookup(my_node, m, sh_.cfg.max_hits_per_seed, hits, total)) {
+      ++st_.seed_cache_hits;
+      return total;
+    }
+    const double t0 = rank_.stats().comm_time_s;
+    total = sh_.index.lookup(rank_, m, sh_.cfg.max_hits_per_seed, hits);
+    st_.comm_lookup_s += rank_.stats().comm_time_s - t0;
+    if (sh_.scache && off_node) sh_.scache->insert(my_node, m, hits, total);
+    if (total > sh_.cfg.max_hits_per_seed) ++st_.hits_truncated;
+    return total;
+  }
+
+  const Target& fetch_target_cached(std::uint32_t gid) {
+    ++st_.target_fetches;
+    const Target& t = sh_.store.target_unsync(gid);
+    const int owner = sh_.store.owner_of_target(gid);
+    if (owner == rank_.id()) return t;
+    const bool off_node = !rank_.topo().same_node(owner, rank_.id());
+    const int my_node = rank_.node();
+    if (sh_.tcache && off_node && sh_.tcache->contains(my_node, gid)) {
+      ++st_.target_cache_hits;
+      return t;
+    }
+    const double t0 = rank_.stats().comm_time_s;
+    rank_.charge_access(owner, t.seq.packed_bytes());
+    st_.comm_fetch_s += rank_.stats().comm_time_s - t0;
+    if (sh_.tcache && off_node)
+      sh_.tcache->insert(my_node, gid, t.seq.packed_bytes());
+    return t;
+  }
+
+  void emit(AlignmentRecord rec) {
+    ++records_this_read_;
+    ++st_.alignments_reported;
+    sh_.sink.emit(rank_.id(), *read_, std::move(rec));
+  }
+
+  pgas::Rank& rank_;
+  BatchShared& sh_;
+  PipelineStats& st_;
+  const seq::SeqRecord* read_ = nullptr;
+  std::unordered_set<std::uint64_t> seen_;
+  std::size_t records_this_read_ = 0;
+  int min_score_ = 0;
+};
+
+/// The per-batch SPMD body: io.reads + align against the prebuilt index.
+void batch_rank_body(pgas::Rank& rank, BatchShared& sh) {
+  const auto me = static_cast<std::size_t>(rank.id());
+  const int nranks = rank.nranks();
+
+  // ---- io.reads ------------------------------------------------------------
+  rank.phase("io.reads");
+  std::vector<seq::SeqRecord> file_reads;
+  std::span<const seq::SeqRecord> myreads;
+  if (!sh.reads_seqdb_path.empty()) {
+    seq::SeqDBReader db(sh.reads_seqdb_path);
+    const auto [rlo, rhi] = db.partition(rank.id(), nranks);
+    file_reads.reserve(rhi - rlo);
+    if (!sh.file_perm.empty()) {
+      // Section IV-B for file input: the shared permutation of record
+      // indices, block-partitioned — each record is read by exactly one rank.
+      for (std::size_t i = rlo; i < rhi; ++i)
+        file_reads.push_back(db.read(sh.file_perm[i]));
+    } else {
+      for (std::size_t i = rlo; i < rhi; ++i) file_reads.push_back(db.read(i));
+    }
+    myreads = file_reads;
+  } else {
+    const std::size_t n = sh.mem_reads.size();
+    const std::size_t lo = n * me / static_cast<std::size_t>(nranks);
+    const std::size_t hi = n * (me + 1) / static_cast<std::size_t>(nranks);
+    myreads = sh.mem_reads.subspan(lo, hi - lo);
+  }
+
+  // ---- align ---------------------------------------------------------------
+  rank.phase("align");
+  RankAligner aligner(rank, sh);
+  for (const seq::SeqRecord& r : myreads) aligner.align_read(r);
+  rank.barrier();
+}
+
+}  // namespace
+
+AlignSession::AlignSession(IndexedReference ref, SessionConfig cfg)
+    : ref_(std::move(ref)), cfg_(std::move(cfg)) {
+  const pgas::Topology& topo = ref_.topology();
+  if (cfg_.seed_cache)
+    scache_.emplace(topo,
+                    cache::SeedIndexCache::Options{cfg_.seed_cache_capacity});
+  if (cfg_.target_cache)
+    tcache_.emplace(topo,
+                    cache::TargetCache::Options{cfg_.target_cache_bytes});
+}
+
+BatchResult AlignSession::align_batch(pgas::Runtime& rt,
+                                      const std::vector<seq::SeqRecord>& reads,
+                                      AlignmentSink& sink) {
+  std::span<const seq::SeqRecord> span = reads;
+  std::vector<seq::SeqRecord> permuted;
+  if (cfg_.permute_queries) {
+    permuted = reads;
+    permute_queries(permuted, cfg_.permute_seed);
+    span = permuted;
+  }
+  return run_batch(rt, span, {}, sink);
+}
+
+BatchResult AlignSession::align_batch_file(pgas::Runtime& rt,
+                                           const std::string& reads_seqdb,
+                                           AlignmentSink& sink) {
+  return run_batch(rt, {}, reads_seqdb, sink);
+}
+
+BatchResult AlignSession::run_batch(pgas::Runtime& rt,
+                                    std::span<const seq::SeqRecord> mem_reads,
+                                    const std::string& seqdb_path,
+                                    AlignmentSink& sink) {
+  const pgas::Topology& built_on = ref_.topology();
+  if (rt.topo().nranks() != built_on.nranks() ||
+      rt.topo().ppn() != built_on.ppn())
+    throw std::invalid_argument(
+        "AlignSession: runtime topology does not match the one the "
+        "IndexedReference was built on");
+
+  // The file-path permutation is identical on every rank, so it is computed
+  // once here rather than per rank inside the timed io.reads phase.
+  std::vector<std::uint64_t> file_perm;
+  if (!seqdb_path.empty() && cfg_.permute_queries) {
+    file_perm.resize(seq::SeqDBReader(seqdb_path).size());
+    for (std::size_t i = 0; i < file_perm.size(); ++i) file_perm[i] = i;
+    permute_queries(file_perm, cfg_.permute_seed);
+  }
+
+  BatchShared sh{
+      cfg_,
+      ref_.targets(),
+      ref_.index(),
+      ref_.config().k,
+      cfg_.exact_match && ref_.exact_match_marked(),
+      scache_ ? &*scache_ : nullptr,
+      tcache_ ? &*tcache_ : nullptr,
+      sink,
+      std::vector<PipelineStats>(static_cast<std::size_t>(rt.nranks())),
+      mem_reads,
+      seqdb_path,
+      file_perm,
+  };
+  rt.run([&sh](pgas::Rank& rank) { batch_rank_body(rank, sh); });
+  sink.batch_end();
+
+  BatchResult res;
+  res.report = rt.report();
+  res.per_rank = std::move(sh.stats);
+  for (const auto& s : res.per_rank) res.stats += s;
+  if (scache_) {
+    const auto now = scache_->counters();
+    res.seed_cache = now - seed_base_;
+    seed_base_ = now;
+  }
+  if (tcache_) {
+    const auto now = tcache_->counters();
+    res.target_cache = now - target_base_;
+    target_base_ = now;
+  }
+  ++batches_done_;
+  return res;
+}
+
+cache::CacheCounters AlignSession::seed_cache_counters() const {
+  return scache_ ? scache_->counters() : cache::CacheCounters{};
+}
+
+cache::CacheCounters AlignSession::target_cache_counters() const {
+  return tcache_ ? tcache_->counters() : cache::CacheCounters{};
+}
+
+}  // namespace mera::core

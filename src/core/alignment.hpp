@@ -22,6 +22,9 @@ struct AlignmentRecord {
   [[nodiscard]] bool full_length(std::size_t query_len) const noexcept {
     return q_begin == 0 && q_end == query_len;
   }
+
+  friend bool operator==(const AlignmentRecord&,
+                         const AlignmentRecord&) = default;
 };
 
 }  // namespace mera::core

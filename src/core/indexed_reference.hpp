@@ -1,0 +1,86 @@
+// The indexing layer of the session-based aligner API.
+//
+// The paper's pipeline is phase-separated: distributed seed-index
+// construction (io.targets / index.build / index.mark) is a distinct,
+// barrier-delimited stage from aligning. IndexedReference materializes that
+// boundary as an owning object: it is built ONCE over a target collection —
+// distributing the targets, constructing the distributed seed index, and
+// running the exact-match single-copy marking — and can then serve any number
+// of query batches through core::AlignSession without paying reconstruction.
+// State is immutable after build() and shared, so copies are cheap handles
+// and concurrent sessions may read the same reference.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/target_store.hpp"
+#include "dht/seed_index.hpp"
+#include "pgas/runtime.hpp"
+#include "seq/fasta.hpp"
+
+namespace mera::core {
+
+namespace detail {
+struct IndexedReferenceState;  // TargetStore + SeedIndex + build diagnostics
+}
+
+/// Knobs that shape the index itself (Section III-A / IV-A). Everything that
+/// only affects how queries are aligned lives in SessionConfig instead.
+struct IndexConfig {
+  int k = 51;  ///< seed length (paper: 51 for human/wheat, 19 for E. coli)
+
+  // Distributed seed index construction (Section III-A).
+  bool aggregating_stores = true;
+  std::size_t buffer_S = 1000;
+
+  // Exact-match preprocessing (Section IV-A): mark single-copy fragments so
+  // sessions can take the Lemma-1 fast path.
+  bool exact_match = true;
+  /// Index-fragment length; SIZE_MAX turns fragmentation off.
+  std::size_t fragment_len = 1024;
+};
+
+class IndexedReference {
+ public:
+  /// Collective build from in-memory targets, block-partitioned over ranks.
+  [[nodiscard]] static IndexedReference build(
+      pgas::Runtime& rt, const std::vector<seq::SeqRecord>& targets,
+      IndexConfig cfg = {});
+
+  /// Collective build from a FASTA file; each rank parses only its own byte
+  /// partition (parallel I/O).
+  [[nodiscard]] static IndexedReference build_from_fasta(
+      pgas::Runtime& rt, const std::string& target_fasta, IndexConfig cfg = {});
+
+  [[nodiscard]] const IndexConfig& config() const noexcept;
+  [[nodiscard]] const TargetStore& targets() const noexcept;
+  [[nodiscard]] const dht::SeedIndex& index() const noexcept;
+  /// Topology the reference was built on; sessions must run on a matching
+  /// one (the index's rank/node layout is baked in at build time).
+  [[nodiscard]] const pgas::Topology& topology() const noexcept;
+  [[nodiscard]] int nranks() const noexcept;
+
+  /// True when index.mark ran, i.e. single-copy flags are trustworthy and a
+  /// session may use the Lemma-1 exact-match fast path.
+  [[nodiscard]] bool exact_match_marked() const noexcept;
+
+  /// Phase report of the build run: startup, io.targets, index.build, and
+  /// (when exact_match) index.mark. Batches never repeat these phases.
+  [[nodiscard]] const pgas::PhaseReport& build_report() const noexcept;
+  /// Per-rank pipeline counters of the build (seeds_indexed).
+  [[nodiscard]] const std::vector<PipelineStats>& build_stats() const noexcept;
+
+  [[nodiscard]] double single_copy_fraction() const;
+  [[nodiscard]] std::size_t index_entries() const;
+
+ private:
+  explicit IndexedReference(
+      std::shared_ptr<const detail::IndexedReferenceState> st);
+  std::shared_ptr<const detail::IndexedReferenceState> state_;
+};
+
+}  // namespace mera::core

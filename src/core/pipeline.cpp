@@ -1,336 +1,60 @@
 #include "core/pipeline.hpp"
 
-#include <algorithm>
 #include <optional>
-#include <span>
-#include <unordered_set>
-
-#include "core/exact_match.hpp"
-#include "core/load_balance.hpp"
-#include "core/sam_writer.hpp"
-#include "core/target_store.hpp"
-#include "dht/seed_index.hpp"
-#include "seq/kmer.hpp"
-#include "seq/seqdb.hpp"
+#include <utility>
 
 namespace mera::core {
 
+IndexConfig AlignerConfig::index_config() const {
+  IndexConfig ic;
+  ic.k = k;
+  ic.aggregating_stores = aggregating_stores;
+  ic.buffer_S = buffer_S;
+  ic.exact_match = exact_match;
+  ic.fragment_len = fragment_len;
+  return ic;
+}
+
+SessionConfig AlignerConfig::session_config() const {
+  SessionConfig sc;
+  sc.seed_cache = seed_cache;
+  sc.seed_cache_capacity = seed_cache_capacity;
+  sc.target_cache = target_cache;
+  sc.target_cache_bytes = target_cache_bytes;
+  sc.exact_match = exact_match;
+  sc.permute_queries = permute_queries;
+  sc.permute_seed = permute_seed;
+  sc.max_hits_per_seed = max_hits_per_seed;
+  sc.seed_stride = seed_stride;
+  sc.extension = extension;
+  sc.min_report_score = min_report_score;
+  return sc;
+}
+
 namespace {
 
-/// Iterate the seeds of one index fragment (a window of a packed target).
-/// fn(offset_within_fragment, kmer).
-template <typename Fn>
-void for_each_fragment_seed(const seq::PackedSeq& t, std::size_t off,
-                            std::size_t len, int k, Fn&& fn) {
-  if (len < static_cast<std::size_t>(k)) return;
-  seq::Kmer m = seq::Kmer::from_packed(t, off, k);
-  fn(std::size_t{0}, m);
-  for (std::size_t s = 1; s + static_cast<std::size_t>(k) <= len; ++s) {
-    m.roll(t.code_at(off + s + static_cast<std::size_t>(k) - 1));
-    fn(s, m);
-  }
-}
-
-/// Everything the rank bodies share. Construction happens on the main thread
-/// before Runtime::run(); ranks touch only their own slots or synchronize via
-/// barriers.
-struct SharedState {
-  SharedState(const AlignerConfig& cfg_in, const pgas::Topology& topo)
-      : cfg(cfg_in),
-        store(topo.nranks(),
-              TargetStore::Options{cfg_in.k, cfg_in.fragment_len}),
-        index(topo, dht::SeedIndex::Options{cfg_in.k, cfg_in.aggregating_stores,
-                                            cfg_in.buffer_S}),
-        stats(static_cast<std::size_t>(topo.nranks())),
-        alignments(static_cast<std::size_t>(topo.nranks())) {
-    if (cfg.seed_cache)
-      scache.emplace(topo,
-                     cache::SeedIndexCache::Options{cfg.seed_cache_capacity});
-    if (cfg.target_cache)
-      tcache.emplace(topo,
-                     cache::TargetCache::Options{cfg.target_cache_bytes});
-  }
-
-  const AlignerConfig& cfg;
-  TargetStore store;
-  dht::SeedIndex index;
-  std::optional<cache::SeedIndexCache> scache;
-  std::optional<cache::TargetCache> tcache;
-  std::vector<PipelineStats> stats;
-  std::vector<std::vector<AlignmentRecord>> alignments;
-
-  // Input plumbing: exactly one of the in-memory/file pairs is used.
-  std::span<const seq::SeqRecord> mem_targets;
-  std::span<const seq::SeqRecord> mem_reads;
-  std::string target_fasta_path;
-  std::string reads_seqdb_path;
-};
-
-/// Per-rank aligning-phase worker.
-class RankAligner {
- public:
-  RankAligner(pgas::Rank& rank, SharedState& sh)
-      : rank_(rank),
-        sh_(sh),
-        st_(sh.stats[static_cast<std::size_t>(rank.id())]),
-        out_(&sh.alignments[static_cast<std::size_t>(rank.id())]) {
-    min_score_ = sh.cfg.min_report_score >= 0
-                     ? sh.cfg.min_report_score
-                     : sh.cfg.extension.scoring.match * sh.cfg.k;
-  }
-
-  void align_read(const seq::SeqRecord& read) {
-    ++st_.reads_processed;
-    records_this_read_ = 0;
-    seen_.clear();
-    const bool done = align_strand(read.name, read.seq, /*reverse=*/false);
-    if (!done) {
-      const std::string rc = seq::reverse_complement(read.seq);
-      align_strand(read.name, rc, /*reverse=*/true);
-    }
-    if (records_this_read_ > 0) ++st_.reads_aligned;
-  }
-
- private:
-  /// Returns true when the Lemma-1 fast path resolved the read completely.
-  bool align_strand(const std::string& name, const std::string& oriented,
-                    bool reverse) {
-    const std::size_t qlen = oriented.size();
-    const int k = sh_.cfg.k;
-    if (qlen < static_cast<std::size_t>(k)) return false;
-    const bool has_n = oriented.find('N') != std::string::npos;
-    const seq::PackedSeq qpacked(oriented);
-    const auto qcodes = align::dna_codes(oriented);
-
-    bool exact_done = false;
-    bool exact_tried = false;
-    std::vector<dht::SeedHit> hits;
-    seq::for_each_seed(std::string_view(oriented), k, [&](std::size_t q_off,
-                                                          const seq::Kmer& m) {
-      if (exact_done) return;
-      if (sh_.cfg.seed_stride > 1 && q_off % sh_.cfg.seed_stride != 0) return;
-      hits.clear();
-      const std::size_t total = lookup_seed(m, hits);
-      if (total == 0) return;
-
-      // Exact-match fast path: try the first candidate of the first seed
-      // that produced one (Section IV-A; cost model t_q' in IV-B).
-      if (sh_.cfg.exact_match && !exact_tried && !has_n) {
-        exact_tried = true;
-        const dht::SeedHit& h0 = hits.front();
-        const Target& t = fetch_target_cached(h0.target_id);
-        // The fragment's flag travels with the target fetch (one message).
-        const Fragment& frag = sh_.store.fragment_unsync(h0.fragment_id);
-        if (frag.single_copy_seeds.load(std::memory_order_relaxed)) {
-          if (const auto pl = exact_placement(h0, q_off, qlen, t.seq.size())) {
-            ++st_.memcmp_calls;
-            if (exact_compare(qpacked, t.seq, *pl)) {
-              AlignmentRecord rec;
-              rec.query_name = name;
-              rec.target_id = pl->target_id;
-              rec.reverse = reverse;
-              rec.score = sh_.cfg.extension.scoring.match *
-                          static_cast<int>(qlen);
-              rec.q_begin = 0;
-              rec.q_end = qlen;
-              rec.t_begin = pl->t_begin;
-              rec.t_end = pl->t_begin + qlen;
-              rec.cigar = std::to_string(qlen) + "M";
-              rec.exact = true;
-              emit(std::move(rec));
-              ++st_.exact_match_reads;
-              exact_done = true;
-              return;
-            }
-          }
-        }
-      }
-
-      for (const dht::SeedHit& h : hits) {
-        // One extension per (target, diagonal) candidate; nearby diagonals
-        // collapse so indels don't spawn duplicates.
-        const std::int64_t diag = static_cast<std::int64_t>(h.t_pos) -
-                                  static_cast<std::int64_t>(q_off);
-        const std::uint64_t key =
-            (static_cast<std::uint64_t>(h.target_id) << 33) |
-            (static_cast<std::uint64_t>(reverse) << 32) |
-            (static_cast<std::uint64_t>(diag + (1ll << 28)) >> 3);
-        if (!seen_.insert(key).second) continue;
-        const Target& t = fetch_target_cached(h.target_id);
-        const auto ext =
-            align::extend_seed(std::span<const std::uint8_t>(qcodes), t.seq,
-                               q_off, h.t_pos, k, sh_.cfg.extension);
-        ++st_.sw_calls;
-        if (ext.aln.score >= min_score_ && !ext.aln.empty()) {
-          AlignmentRecord rec;
-          rec.query_name = name;
-          rec.target_id = h.target_id;
-          rec.reverse = reverse;
-          rec.score = ext.aln.score;
-          rec.q_begin = ext.aln.q_begin;
-          rec.q_end = ext.aln.q_end;
-          rec.t_begin = ext.aln.t_begin;
-          rec.t_end = ext.aln.t_end;
-          rec.cigar = ext.aln.cigar.to_string();
-          rec.mismatches = ext.aln.mismatches;
-          emit(std::move(rec));
-        }
-      }
-    });
-    return exact_done;
-  }
-
-  std::size_t lookup_seed(const seq::Kmer& m, std::vector<dht::SeedHit>& hits) {
-    ++st_.seed_lookups;
-    const int owner = sh_.index.owner_of(m);
-    const bool off_node = !rank_.topo().same_node(owner, rank_.id());
-    const int my_node = rank_.node();
-    std::size_t total = 0;
-    if (sh_.scache && off_node &&
-        sh_.scache->lookup(my_node, m, sh_.cfg.max_hits_per_seed, hits, total)) {
-      ++st_.seed_cache_hits;
-      return total;
-    }
-    const double t0 = rank_.stats().comm_time_s;
-    total = sh_.index.lookup(rank_, m, sh_.cfg.max_hits_per_seed, hits);
-    st_.comm_lookup_s += rank_.stats().comm_time_s - t0;
-    if (sh_.scache && off_node) sh_.scache->insert(my_node, m, hits, total);
-    if (total > sh_.cfg.max_hits_per_seed) ++st_.hits_truncated;
-    return total;
-  }
-
-  const Target& fetch_target_cached(std::uint32_t gid) {
-    ++st_.target_fetches;
-    const Target& t = sh_.store.target_unsync(gid);
-    const int owner = sh_.store.owner_of_target(gid);
-    if (owner == rank_.id()) return t;
-    const bool off_node = !rank_.topo().same_node(owner, rank_.id());
-    const int my_node = rank_.node();
-    if (sh_.tcache && off_node && sh_.tcache->contains(my_node, gid)) {
-      ++st_.target_cache_hits;
-      return t;
-    }
-    const double t0 = rank_.stats().comm_time_s;
-    rank_.charge_access(owner, t.seq.packed_bytes());
-    st_.comm_fetch_s += rank_.stats().comm_time_s - t0;
-    if (sh_.tcache && off_node)
-      sh_.tcache->insert(my_node, gid, t.seq.packed_bytes());
-    return t;
-  }
-
-  void emit(AlignmentRecord rec) {
-    ++records_this_read_;
-    ++st_.alignments_reported;
-    if (sh_.cfg.collect_alignments) out_->push_back(std::move(rec));
-  }
-
-  pgas::Rank& rank_;
-  SharedState& sh_;
-  PipelineStats& st_;
-  std::vector<AlignmentRecord>* out_;
-  std::unordered_set<std::uint64_t> seen_;
-  std::size_t records_this_read_ = 0;
-  int min_score_ = 0;
-};
-
-/// The SPMD body: Algorithm 1 with all optimizations.
-void rank_body(pgas::Rank& rank, SharedState& sh) {
-  const auto me = static_cast<std::size_t>(rank.id());
-  const int nranks = rank.nranks();
-
-  // ---- io.targets ----------------------------------------------------------
-  rank.phase("io.targets");
-  {
-    std::vector<seq::SeqRecord> recs;
-    if (!sh.target_fasta_path.empty()) {
-      recs = seq::read_fasta_partition(sh.target_fasta_path, rank.id(), nranks);
-    } else {
-      const std::size_t n = sh.mem_targets.size();
-      const std::size_t lo = n * me / static_cast<std::size_t>(nranks);
-      const std::size_t hi = n * (me + 1) / static_cast<std::size_t>(nranks);
-      recs.assign(sh.mem_targets.begin() + static_cast<std::ptrdiff_t>(lo),
-                  sh.mem_targets.begin() + static_cast<std::ptrdiff_t>(hi));
-    }
-    sh.store.add_local_targets(rank, std::move(recs));
-  }
-  sh.store.finish_construction(rank);
-
-  // ---- index.build ---------------------------------------------------------
-  rank.phase("index.build");
-  PipelineStats& st = sh.stats[me];
-  const auto [flo, fhi] = sh.store.local_fragment_range(rank.id());
-  for (std::uint32_t fid = flo; fid < fhi; ++fid) {
-    const Fragment& f = sh.store.fragment_unsync(fid);
-    const Target& t = sh.store.target_unsync(f.parent_target);
-    for_each_fragment_seed(t.seq, f.parent_offset, f.length, sh.cfg.k,
-                           [&](std::size_t, const seq::Kmer& m) {
-                             sh.index.count_seed(rank, m);
-                           });
-  }
-  sh.index.finish_count(rank);
-  for (std::uint32_t fid = flo; fid < fhi; ++fid) {
-    const Fragment& f = sh.store.fragment_unsync(fid);
-    const Target& t = sh.store.target_unsync(f.parent_target);
-    for_each_fragment_seed(
-        t.seq, f.parent_offset, f.length, sh.cfg.k,
-        [&](std::size_t off, const seq::Kmer& m) {
-          sh.index.insert(
-              rank, m,
-              dht::SeedHit{fid, f.parent_target,
-                           f.parent_offset + static_cast<std::uint32_t>(off)});
-          ++st.seeds_indexed;
-        });
-  }
-  sh.index.finish_insert(rank);
-
-  // ---- index.mark (exact-match preprocessing) ------------------------------
-  rank.phase("index.mark");
-  if (sh.cfg.exact_match) {
-    sh.index.for_each_local_duplicate_hit(rank, [&](const dht::SeedHit& h) {
-      sh.store.clear_single_copy(rank, h.fragment_id);
-    });
-  }
-  rank.barrier();  // flags must be globally visible before aligning
-
-  // ---- io.reads ------------------------------------------------------------
-  rank.phase("io.reads");
-  std::vector<seq::SeqRecord> file_reads;
-  std::span<const seq::SeqRecord> myreads;
-  if (!sh.reads_seqdb_path.empty()) {
-    seq::SeqDBReader db(sh.reads_seqdb_path);
-    const auto [rlo, rhi] = db.partition(rank.id(), nranks);
-    file_reads.reserve(rhi - rlo);
-    for (std::size_t i = rlo; i < rhi; ++i) file_reads.push_back(db.read(i));
-    myreads = file_reads;
-  } else {
-    const std::size_t n = sh.mem_reads.size();
-    const std::size_t lo = n * me / static_cast<std::size_t>(nranks);
-    const std::size_t hi = n * (me + 1) / static_cast<std::size_t>(nranks);
-    myreads = sh.mem_reads.subspan(lo, hi - lo);
-  }
-
-  // ---- align ----------------------------------------------------------------
-  rank.phase("align");
-  RankAligner aligner(rank, sh);
-  for (const seq::SeqRecord& r : myreads) aligner.align_read(r);
-  rank.barrier();
-}
-
-AlignResult collect(SharedState& sh, pgas::Runtime& rt) {
+/// Stitch the build-phase and batch-phase views back into the legacy
+/// five-phase result. The batch's thread-spawn "startup" entry is dropped so
+/// the fused report keeps the shape of the old single-run pipeline.
+AlignResult assemble(const IndexedReference& ref, BatchResult&& batch,
+                     std::vector<AlignmentRecord>&& alignments) {
   AlignResult res;
-  res.report = rt.report();
-  res.per_rank = sh.stats;
-  for (const auto& s : sh.stats) res.stats += s;
-  for (auto& v : sh.alignments) {
-    res.alignments.insert(res.alignments.end(),
-                          std::make_move_iterator(v.begin()),
-                          std::make_move_iterator(v.end()));
-    v.clear();
-  }
-  if (sh.scache) res.seed_cache = sh.scache->counters();
-  if (sh.tcache) res.target_cache = sh.tcache->counters();
-  res.single_copy_fraction = sh.store.single_copy_fraction();
-  res.index_entries = sh.index.total_entries();
+  res.report = ref.build_report();
+  if (!batch.report.phases.empty() &&
+      batch.report.phases.front().name == "startup")
+    batch.report.phases.erase(batch.report.phases.begin());
+  res.report.append(batch.report);
+
+  res.per_rank = ref.build_stats();
+  for (std::size_t r = 0; r < res.per_rank.size(); ++r)
+    res.per_rank[r] += batch.per_rank[r];
+  for (const auto& s : res.per_rank) res.stats += s;
+
+  res.alignments = std::move(alignments);
+  res.seed_cache = batch.seed_cache;
+  res.target_cache = batch.target_cache;
+  res.single_copy_fraction = ref.single_copy_fraction();
+  res.index_entries = ref.index_entries();
   return res;
 }
 
@@ -341,44 +65,52 @@ MerAligner::MerAligner(AlignerConfig cfg) : cfg_(std::move(cfg)) {}
 AlignResult MerAligner::align(pgas::Runtime& rt,
                               const std::vector<seq::SeqRecord>& targets,
                               const std::vector<seq::SeqRecord>& reads) const {
-  SharedState sh(cfg_, rt.topo());
-  std::vector<seq::SeqRecord> permuted;
-  if (cfg_.permute_queries) {
-    permuted = reads;
-    permute_queries(permuted, cfg_.permute_seed);
-    sh.mem_reads = permuted;
-  } else {
-    sh.mem_reads = reads;
+  const IndexedReference ref =
+      IndexedReference::build(rt, targets, cfg_.index_config());
+  AlignSession session(ref, cfg_.session_config());
+  if (cfg_.collect_alignments) {
+    VectorSink sink(rt.nranks());
+    BatchResult batch = session.align_batch(rt, reads, sink);
+    return assemble(ref, std::move(batch), sink.take());
   }
-  sh.mem_targets = targets;
-  rt.run([&sh](pgas::Rank& rank) { rank_body(rank, sh); });
-  return collect(sh, rt);
+  CountingSink sink;
+  BatchResult batch = session.align_batch(rt, reads, sink);
+  return assemble(ref, std::move(batch), {});
 }
 
 AlignResult MerAligner::align_files(pgas::Runtime& rt,
                                     const std::string& target_fasta,
                                     const std::string& reads_seqdb,
                                     const std::string& sam_out) const {
-  SharedState sh(cfg_, rt.topo());
-  sh.target_fasta_path = target_fasta;
-  sh.reads_seqdb_path = reads_seqdb;
-  rt.run([&sh](pgas::Rank& rank) { rank_body(rank, sh); });
-  AlignResult res = collect(sh, rt);
+  const IndexedReference ref =
+      IndexedReference::build_from_fasta(rt, target_fasta, cfg_.index_config());
+  // Seed-behavior compatibility: the legacy file path ignored permute_queries
+  // (records were always read in natural order), and this wrapper promises
+  // byte-identical SAM output. AlignSession honors the knob for file batches;
+  // callers who want the Section IV-B balancing on files use it directly.
+  SessionConfig sc = cfg_.session_config();
+  sc.permute_queries = false;
+  AlignSession session(ref, sc);
+
+  VectorSink vec(rt.nranks());
+  CountingSink count;
+  std::optional<SamFileSink> sam;
+  std::vector<AlignmentSink*> outs;
+  outs.push_back(cfg_.collect_alignments
+                     ? static_cast<AlignmentSink*>(&vec)
+                     : static_cast<AlignmentSink*>(&count));
   if (!sam_out.empty()) {
-    // Resolve aligned query sequences for SAM; the SeqDB is indexed so this
-    // is a cheap post-pass keyed by query name.
-    seq::SeqDBReader db(reads_seqdb);
-    std::unordered_map<std::string, std::string> seq_by_name;
-    for (std::size_t i = 0; i < db.size(); ++i) {
-      auto rec = db.read(i);
-      seq_by_name.emplace(std::move(rec.name), std::move(rec.seq));
-    }
-    std::vector<std::string> qseqs;
-    qseqs.reserve(res.alignments.size());
-    for (const auto& a : res.alignments) qseqs.push_back(seq_by_name.at(a.query_name));
-    write_sam_file(sam_out, sh.store, res.alignments, qseqs);
+    sam.emplace(sam_out, ref);
+    outs.push_back(&*sam);
   }
-  return res;
+  TeeSink tee(outs);
+  AlignmentSink& sink = outs.size() == 1 ? *outs.front()
+                                         : static_cast<AlignmentSink&>(tee);
+
+  BatchResult batch = session.align_batch_file(rt, reads_seqdb, sink);
+  return assemble(ref, std::move(batch),
+                  cfg_.collect_alignments ? vec.take()
+                                          : std::vector<AlignmentRecord>{});
 }
 
 }  // namespace mera::core

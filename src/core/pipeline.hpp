@@ -1,17 +1,17 @@
-// The end-to-end merAligner pipeline (Algorithm 1 + Sections III-V).
+// One-shot convenience wrappers over the session-based aligner API.
 //
-// Phases (each barrier-delimited and timed):
-//   io.targets   every rank reads its partition of the target sequences and
-//                deposits them in the distributed TargetStore
-//   index.build  seed extraction + distributed seed index construction
-//                (counting pre-pass, then aggregated or naive deposits)
-//   index.mark   exact-match preprocessing: owners visit their shard, find
-//                seeds with count > 1 and clear the single_copy_seeds flag of
-//                the fragments those seeds came from
-//   io.reads     every rank reads its partition of the queries
-//   align        seed-and-extend with software caches, the Lemma-1 fast path,
-//                and the max-hits-per-seed threshold
+// The pipeline proper lives in two layers that mirror the paper's
+// barrier-delimited phase structure (Algorithm 1 + Sections III-V):
 //
+//   core::IndexedReference  (indexed_reference.hpp)
+//     io.targets / index.build / index.mark — built once per target set.
+//   core::AlignSession      (align_session.hpp)
+//     io.reads / align — callable repeatedly against the same reference,
+//     emitting records through an AlignmentSink (alignment_sink.hpp).
+//
+// MerAligner fuses the two for callers that align exactly one batch: it
+// builds the reference, runs a single-session single-batch alignment, and
+// stitches the two phase reports back into the familiar five-phase view.
 // Every optimization the paper evaluates is an independent AlignerConfig
 // switch, which is how the benches reproduce Figures 8-10 and Tables I-II.
 #pragma once
@@ -24,13 +24,17 @@
 #include "align/extension.hpp"
 #include "cache/seed_cache.hpp"
 #include "cache/target_cache.hpp"
+#include "core/align_session.hpp"
 #include "core/alignment.hpp"
+#include "core/indexed_reference.hpp"
 #include "core/stats.hpp"
 #include "pgas/runtime.hpp"
 #include "seq/fasta.hpp"
 
 namespace mera::core {
 
+/// The legacy fused configuration: index-side and query-side knobs in one
+/// struct. index_config()/session_config() split it for the session API.
 struct AlignerConfig {
   int k = 51;  ///< seed length (paper: 51 for human/wheat, 19 for E. coli)
 
@@ -62,6 +66,11 @@ struct AlignerConfig {
   /// seed region must align).
   int min_report_score = -1;
   bool collect_alignments = true;
+
+  /// Index-side projection (for IndexedReference::build).
+  [[nodiscard]] IndexConfig index_config() const;
+  /// Query-side projection (for AlignSession).
+  [[nodiscard]] SessionConfig session_config() const;
 };
 
 struct AlignResult {
@@ -83,12 +92,18 @@ class MerAligner {
 
   /// In-memory API: align `reads` against `targets` on the given runtime.
   /// Queries are permuted (if configured) and block-partitioned over ranks.
+  /// Equivalent to IndexedReference::build + one AlignSession batch.
   [[nodiscard]] AlignResult align(pgas::Runtime& rt,
                                   const std::vector<seq::SeqRecord>& targets,
                                   const std::vector<seq::SeqRecord>& reads) const;
 
   /// File API: FASTA targets + SeqDB queries, optional SAM output.
   /// Each rank reads only its own partition of both inputs (parallel I/O).
+  /// SAM output streams through SamStreamSink, so a non-empty `sam_out` now
+  /// always receives the full record set — under the legacy implementation
+  /// `collect_alignments = false` degraded it to a header-only file (the SAM
+  /// pass was fed from the collected vector); that quirk is intentionally
+  /// gone.
   [[nodiscard]] AlignResult align_files(pgas::Runtime& rt,
                                         const std::string& target_fasta,
                                         const std::string& reads_seqdb,

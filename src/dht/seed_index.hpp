@@ -84,6 +84,9 @@ class SeedIndex {
   /// the *total* occurrence count of the seed in the index (0 = absent;
   /// > max_hits means the list was truncated — the Section IV-C threshold).
   /// Charges one request/response transfer when the owner is remote.
+  /// After finish_insert() the table is immutable, so lookups are safe from
+  /// any number of concurrent ranks — this is what lets an IndexedReference
+  /// serve many AlignSession batches (and sessions) without copying.
   std::size_t lookup(pgas::Rank& rank, const seq::Kmer& seed,
                      std::size_t max_hits, std::vector<SeedHit>& out) const;
 

@@ -66,6 +66,10 @@ const PhaseEntry* PhaseReport::find(std::string_view name) const {
   return nullptr;
 }
 
+void PhaseReport::append(const PhaseReport& other) {
+  phases.insert(phases.end(), other.phases.begin(), other.phases.end());
+}
+
 CommStats PhaseReport::total_traffic() const {
   CommStats s;
   for (const auto& p : phases) s += p.traffic;

@@ -62,6 +62,11 @@ struct PhaseReport {
   [[nodiscard]] const PhaseEntry* find(std::string_view name) const;
   [[nodiscard]] CommStats total_traffic() const;
 
+  /// Append another run's phases after this one's, as if the two executions
+  /// had happened back to back (used to stitch an index-build report and a
+  /// per-batch aligning report into one end-to-end view).
+  void append(const PhaseReport& other);
+
   void print(std::ostream& os) const;
 };
 

@@ -37,7 +37,16 @@ int main(int argc, char** argv) {
   const auto reads = simulate_reads(genome, rp);
   write_fastq(dir + "/reads.fastq", reads);
 
-  std::printf("wrote %s/contigs.fa and %s/reads.fastq (%zu reads)\n",
-              dir.c_str(), dir.c_str(), reads.size());
+  // Two-batch fixtures for the multi-batch CLI path: the same read set split
+  // in half. Aligning both halves against one index must reproduce exactly
+  // the single-batch record set, so the same golden SAM covers both paths.
+  const auto mid = reads.begin() + static_cast<std::ptrdiff_t>(reads.size() / 2);
+  write_fastq(dir + "/reads_a.fastq", {reads.begin(), mid});
+  write_fastq(dir + "/reads_b.fastq", {mid, reads.end()});
+
+  std::printf(
+      "wrote %s/{contigs.fa, reads.fastq, reads_a.fastq, reads_b.fastq} "
+      "(%zu reads)\n",
+      dir.c_str(), reads.size());
   return 0;
 }

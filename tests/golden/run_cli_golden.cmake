@@ -5,6 +5,13 @@
 #   GOLDEN  - checked-in expected SAM (tests/golden/meraligner_cli.sam)
 #   WORKDIR - scratch directory for this run
 #
+# Three scenarios share one golden file:
+#   1. single batch:  --reads reads.fastq            -> golden SAM
+#   2. multi batch:   --reads reads_a --reads reads_b (one index, two batches)
+#                     -> the SAME record set, since per-read results depend
+#                     only on the prebuilt index, not on batch boundaries
+#   3. bad flags must fail fast with a usage message, not be ignored
+#
 # Fixtures are copied into WORKDIR first because the CLI writes a derived
 # .sdb file next to the input FASTQ; the source tree must stay clean.
 cmake_minimum_required(VERSION 3.20)
@@ -13,20 +20,9 @@ get_filename_component(FIXTURES ${GOLDEN} DIRECTORY)
 
 file(REMOVE_RECURSE ${WORKDIR})
 file(MAKE_DIRECTORY ${WORKDIR})
-file(COPY ${FIXTURES}/contigs.fa ${FIXTURES}/reads.fastq DESTINATION ${WORKDIR})
-
-execute_process(
-  COMMAND ${CLI}
-    --targets ${WORKDIR}/contigs.fa
-    --reads ${WORKDIR}/reads.fastq
-    --out ${WORKDIR}/out.sam
-    --k 31 --ranks 4 --ppn 2 --no-permute
-  RESULT_VARIABLE rc
-  OUTPUT_VARIABLE out
-  ERROR_VARIABLE err)
-if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "meraligner_cli exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
-endif()
+file(COPY ${FIXTURES}/contigs.fa ${FIXTURES}/reads.fastq
+     ${FIXTURES}/reads_a.fastq ${FIXTURES}/reads_b.fastq
+     DESTINATION ${WORKDIR})
 
 # SAM record order is not semantically meaningful (the pipeline emits per-rank
 # batches), so compare sorted line sets. Read names contain ';' (CMake's list
@@ -42,18 +38,69 @@ function(normalize in_path out_path)
   file(WRITE ${out_path} "${text}\n")
 endfunction()
 
-normalize(${WORKDIR}/out.sam ${WORKDIR}/out.sorted.sam)
-normalize(${GOLDEN} ${WORKDIR}/golden.sorted.sam)
+function(check_sam produced label)
+  normalize(${produced} ${produced}.sorted)
+  normalize(${GOLDEN} ${WORKDIR}/golden.sorted.sam)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+      ${produced}.sorted ${WORKDIR}/golden.sorted.sam
+    RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+      "${label}: SAM output differs from golden file.\n"
+      "  produced: ${produced}\n"
+      "  expected: ${GOLDEN}\n"
+      "If the change is intentional, re-baseline by copying the produced file "
+      "over the golden one (see tests/golden/gen_fixtures.cpp).")
+  endif()
+endfunction()
 
+# --- 1. single batch --------------------------------------------------------
 execute_process(
-  COMMAND ${CMAKE_COMMAND} -E compare_files
-    ${WORKDIR}/out.sorted.sam ${WORKDIR}/golden.sorted.sam
-  RESULT_VARIABLE diff_rc)
-if(NOT diff_rc EQUAL 0)
-  message(FATAL_ERROR
-    "SAM output differs from golden file.\n"
-    "  produced: ${WORKDIR}/out.sam\n"
-    "  expected: ${GOLDEN}\n"
-    "If the change is intentional, re-baseline by copying the produced file "
-    "over the golden one (see tests/golden/gen_fixtures.cpp).")
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --out ${WORKDIR}/out.sam
+    --k 31 --ranks 4 --ppn 2 --no-permute
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "meraligner_cli exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+check_sam(${WORKDIR}/out.sam "single-batch")
+
+# --- 2. multi batch over one reused index -----------------------------------
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads_a.fastq
+    --reads ${WORKDIR}/reads_b.fastq
+    --out ${WORKDIR}/out_multi.sam
+    --k 31 --ranks 4 --ppn 2 --no-permute
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "multi-batch meraligner_cli exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+if(NOT err MATCHES "batch 2/2")
+  message(FATAL_ERROR "multi-batch run did not report a second batch:\n${err}")
+endif()
+check_sam(${WORKDIR}/out_multi.sam "multi-batch")
+
+# --- 3. bad flags fail fast --------------------------------------------------
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --bogus-flag 7
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "meraligner_cli accepted an unknown flag (--bogus-flag)")
+endif()
+if(NOT err MATCHES "unknown flag" OR NOT err MATCHES "meraligner --targets")
+  message(FATAL_ERROR "bad-flag run did not print the usage message:\n${err}")
 endif()

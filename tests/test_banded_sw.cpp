@@ -96,6 +96,23 @@ TEST(BandedSw, CigarSpansAreConsistent) {
   }
 }
 
+TEST(BandedSw, BandSlidingPastTargetEndIsSafe) {
+  // Regression: a query much longer than the target pushes the band wholly
+  // past the target's right edge in the late rows; the left-border clear
+  // used to write one past the H row there (caught by ASan once the banded
+  // kernel became selectable as a pipeline backend).
+  std::mt19937_64 rng(46);
+  const Scoring sc;
+  const std::string t = random_dna(rng, 40);
+  const std::string q = t + random_dna(rng, 160);  // rows far beyond n
+  const auto aln = banded_smith_waterman(std::span<const std::uint8_t>(codes(q)),
+                                         std::span<const std::uint8_t>(codes(t)),
+                                         0, 6, sc);
+  EXPECT_EQ(aln.score, static_cast<int>(t.size()) * sc.match);
+  EXPECT_EQ(aln.t_begin, 0u);
+  EXPECT_EQ(aln.t_end, t.size());
+}
+
 TEST(BandedSw, EmptyInputsScoreZero) {
   const Scoring sc;
   const auto empty = std::span<const std::uint8_t>{};

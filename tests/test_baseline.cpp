@@ -70,11 +70,18 @@ TEST(Baseline, IndexConstructionIsSerial) {
 
 TEST(Baseline, SerialBuildDoesNotScaleWithRanks) {
   const auto w = make_workload(40'000, 0.3);
+  // The serial build is a few milliseconds, so a single measurement is at
+  // the mercy of scheduler/frequency noise; best-of-3 is the stable
+  // estimate of the true (noise-free) serial work.
   auto build_time = [&](int nranks) {
-    Runtime rt(Topology(nranks, 2));
-    const auto res =
-        ReplicatedIndexAligner(small_baseline()).align(rt, w.contigs, w.reads);
-    return res.report.time_of("index.build.serial");
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+      Runtime rt(Topology(nranks, 2));
+      const auto res =
+          ReplicatedIndexAligner(small_baseline()).align(rt, w.contigs, w.reads);
+      best = std::min(best, res.report.time_of("index.build.serial"));
+    }
+    return best;
   };
   const double t2 = build_time(2);
   const double t8 = build_time(8);

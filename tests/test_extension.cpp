@@ -97,7 +97,7 @@ TEST(Extension, BandedModeAgreesOnCleanReads) {
   const std::string g = random_dna(rng, 3000);
   const PackedSeq target(g);
   ExtensionConfig banded;
-  banded.banded = true;
+  banded.kernel = SwKernel::kBanded;
   for (int trial = 0; trial < 30; ++trial) {
     const std::size_t pos = rng() % 2800;
     std::string q = g.substr(pos, 90);

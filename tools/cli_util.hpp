@@ -2,12 +2,22 @@
 #pragma once
 
 #include <cstdlib>
+#include <initializer_list>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mera::tools {
+
+/// A bad invocation (unknown flag, missing required flag, malformed value).
+/// Tools catch this separately from runtime errors so they can print the
+/// usage text and exit with a distinct status.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class Args {
  public:
@@ -17,11 +27,11 @@ class Args {
       if (a.rfind("--", 0) == 0) {
         const auto eq = a.find('=');
         if (eq != std::string::npos) {
-          flags_[a.substr(2, eq - 2)] = a.substr(eq + 1);
+          flags_[a.substr(2, eq - 2)].push_back(a.substr(eq + 1));
         } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-          flags_[a.substr(2)] = argv[++i];
+          flags_[a.substr(2)].push_back(argv[++i]);
         } else {
-          flags_[a.substr(2)] = "1";  // boolean flag
+          flags_[a.substr(2)].push_back("1");  // boolean flag
         }
       } else {
         positional_.push_back(std::move(a));
@@ -32,27 +42,51 @@ class Args {
   [[nodiscard]] bool has(const std::string& name) const {
     return flags_.count(name) != 0;
   }
+  /// Last occurrence wins for single-valued flags.
   [[nodiscard]] std::string get(const std::string& name,
                                 const std::string& def = "") const {
     const auto it = flags_.find(name);
-    return it == flags_.end() ? def : it->second;
+    return it == flags_.end() ? def : it->second.back();
   }
   [[nodiscard]] long get_int(const std::string& name, long def) const {
     const auto it = flags_.find(name);
-    return it == flags_.end() ? def : std::stol(it->second);
+    if (it == flags_.end()) return def;
+    try {
+      return std::stol(it->second.back());
+    } catch (const std::exception&) {
+      throw UsageError("flag --" + name + " expects an integer, got '" +
+                       it->second.back() + "'");
+    }
   }
   [[nodiscard]] std::string require(const std::string& name) const {
     const auto it = flags_.find(name);
     if (it == flags_.end())
-      throw std::runtime_error("missing required flag --" + name);
-    return it->second;
+      throw UsageError("missing required flag --" + name);
+    return it->second.back();
+  }
+  /// Every occurrence of a repeatable flag, in command-line order.
+  [[nodiscard]] std::vector<std::string> get_all(const std::string& name) const {
+    const auto it = flags_.find(name);
+    return it == flags_.end() ? std::vector<std::string>{} : it->second;
   }
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
   }
 
+  /// Reject flags outside `known` (and stray positional arguments) instead of
+  /// silently ignoring them.
+  void check_known(std::initializer_list<std::string_view> known) const {
+    for (const auto& [name, values] : flags_) {
+      bool ok = false;
+      for (const auto& k : known) ok = ok || k == name;
+      if (!ok) throw UsageError("unknown flag --" + name);
+    }
+    if (!positional_.empty())
+      throw UsageError("unexpected argument '" + positional_.front() + "'");
+  }
+
  private:
-  std::map<std::string, std::string> flags_;
+  std::map<std::string, std::vector<std::string>> flags_;
   std::vector<std::string> positional_;
 };
 

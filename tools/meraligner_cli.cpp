@@ -1,83 +1,160 @@
-// meraligner — command-line front end for the full pipeline.
+// meraligner — command-line front end for the session-based pipeline.
 //
 // Usage:
-//   meraligner --targets contigs.fa --reads reads.{fastq,sdb}
-//              [--out out.sam] [--k 51] [--ranks 8] [--ppn 4] [--S 1000]
-//              [--max-hits 32] [--fragment-len 1024] [--no-exact]
+//   meraligner --targets contigs.fa --reads batch1.{fastq,sdb}
+//              [--reads batch2.fastq ...] [--out out.sam] [--k 51]
+//              [--ranks 8] [--ppn 4] [--S 1000] [--max-hits 32]
+//              [--fragment-len 1024] [--sw full|banded|striped] [--no-exact]
 //              [--no-seed-cache] [--no-target-cache] [--no-aggregation]
 //              [--no-permute] [--stats]
+//
+// The distributed seed index is built ONCE from --targets; every --reads
+// batch is then streamed against it through one AlignSession, so batch N>1
+// pays no index construction. With --out, all batches stream into a single
+// SAM file (header once). Unknown flags are an error (exit 2), not ignored.
 //
 // FASTQ inputs are converted to a temporary SeqDB next to the input (the
 // paper's one-time lossless preprocessing) so every rank can read its own
 // byte range.
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "cli_util.hpp"
-#include "core/pipeline.hpp"
+#include "core/align_session.hpp"
+#include "core/alignment_sink.hpp"
+#include "core/indexed_reference.hpp"
 #include "seq/seqdb.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "meraligner --targets contigs.fa --reads batch1.{fastq,sdb}\n"
+    "           [--reads batch2.fastq ...] [--out out.sam] [--k 51]\n"
+    "           [--ranks 8] [--ppn 4] [--S 1000] [--max-hits 32]\n"
+    "           [--fragment-len 1024] [--sw full|banded|striped]\n"
+    "           [--no-exact] [--no-seed-cache] [--no-target-cache]\n"
+    "           [--no-aggregation] [--no-permute] [--stats]\n"
+    "\n"
+    "The index over --targets is built once; each --reads batch is aligned\n"
+    "against it in order, streaming SAM into --out (one header, all batches).";
+
+mera::align::SwKernel parse_kernel(const std::string& name) {
+  using mera::align::SwKernel;
+  if (name == "full") return SwKernel::kFullDP;
+  if (name == "banded") return SwKernel::kBanded;
+  if (name == "striped") return SwKernel::kStriped;
+  throw mera::tools::UsageError("--sw expects full|banded|striped, got '" +
+                                name + "'");
+}
+
+/// FASTQ batches get the one-time lossless SeqDB conversion.
+std::string ensure_seqdb(const std::string& reads) {
+  if (reads.size() > 3 &&
+      (reads.ends_with(".fastq") || reads.ends_with(".fq"))) {
+    const std::string db = reads + ".sdb";
+    std::fprintf(stderr, "[meraligner] converting %s -> %s\n", reads.c_str(),
+                 db.c_str());
+    mera::seq::fastq_to_seqdb(reads, db);
+    return db;
+  }
+  return reads;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mera;
+  const tools::Args args(argc, argv);
+  if (args.has("help") || argc == 1) {
+    std::puts(kUsage);
+    return argc == 1 ? 2 : 0;
+  }
   try {
-    const tools::Args args(argc, argv);
-    if (args.has("help") || argc == 1) {
-      std::puts(
-          "meraligner --targets contigs.fa --reads reads.{fastq,sdb}\n"
-          "           [--out out.sam] [--k 51] [--ranks 8] [--ppn 4]\n"
-          "           [--S 1000] [--max-hits 32] [--fragment-len 1024]\n"
-          "           [--no-exact] [--no-seed-cache] [--no-target-cache]\n"
-          "           [--no-aggregation] [--no-permute] [--stats]");
-      return argc == 1 ? 1 : 0;
-    }
+    args.check_known({"targets", "reads", "out", "k", "ranks", "ppn", "S",
+                      "max-hits", "fragment-len", "sw", "no-exact",
+                      "no-seed-cache", "no-target-cache", "no-aggregation",
+                      "no-permute", "stats", "help"});
     const std::string targets = args.require("targets");
-    std::string reads = args.require("reads");
+    std::vector<std::string> batches = args.get_all("reads");
+    if (batches.empty()) throw tools::UsageError("missing required flag --reads");
     const std::string out = args.get("out");
 
-    // FASTQ -> SeqDB preprocessing when needed.
-    if (reads.size() > 6 &&
-        (reads.ends_with(".fastq") || reads.ends_with(".fq"))) {
-      const std::string db = reads + ".sdb";
-      std::fprintf(stderr, "[meraligner] converting %s -> %s\n", reads.c_str(),
-                   db.c_str());
-      seq::fastq_to_seqdb(reads, db);
-      reads = db;
-    }
-
-    core::AlignerConfig cfg;
-    cfg.k = static_cast<int>(args.get_int("k", 51));
-    cfg.buffer_S = static_cast<std::size_t>(args.get_int("S", 1000));
-    cfg.max_hits_per_seed =
-        static_cast<std::size_t>(args.get_int("max-hits", 32));
-    cfg.fragment_len =
+    core::IndexConfig icfg;
+    icfg.k = static_cast<int>(args.get_int("k", 51));
+    icfg.buffer_S = static_cast<std::size_t>(args.get_int("S", 1000));
+    icfg.fragment_len =
         static_cast<std::size_t>(args.get_int("fragment-len", 1024));
-    cfg.exact_match = !args.has("no-exact");
-    cfg.seed_cache = !args.has("no-seed-cache");
-    cfg.target_cache = !args.has("no-target-cache");
-    cfg.aggregating_stores = !args.has("no-aggregation");
-    cfg.permute_queries = !args.has("no-permute");
+    icfg.exact_match = !args.has("no-exact");
+    icfg.aggregating_stores = !args.has("no-aggregation");
+
+    core::SessionConfig scfg;
+    scfg.max_hits_per_seed =
+        static_cast<std::size_t>(args.get_int("max-hits", 32));
+    scfg.exact_match = icfg.exact_match;
+    scfg.seed_cache = !args.has("no-seed-cache");
+    scfg.target_cache = !args.has("no-target-cache");
+    scfg.permute_queries = !args.has("no-permute");
+    scfg.extension.kernel = parse_kernel(args.get("sw", "full"));
 
     const int nranks = static_cast<int>(args.get_int("ranks", 8));
     const int ppn = static_cast<int>(args.get_int("ppn", 4));
     pgas::Runtime rt(pgas::Topology(nranks, ppn));
 
-    const auto res =
-        core::MerAligner(cfg).align_files(rt, targets, reads, out);
+    const auto ref = core::IndexedReference::build_from_fasta(rt, targets, icfg);
+    std::fprintf(stderr,
+                 "[meraligner] index built: %zu entries, %.3f simulated s "
+                 "(amortized over %zu batch%s)\n",
+                 ref.index_entries(), ref.build_report().total_time_s(),
+                 batches.size(), batches.size() == 1 ? "" : "es");
+    if (args.has("stats")) ref.build_report().print(std::cerr);
+
+    core::AlignSession session(ref, scfg);
+    std::optional<core::SamFileSink> sam;
+    core::CountingSink counter;
+    if (!out.empty()) sam.emplace(out, ref);
+    core::AlignmentSink& sink =
+        sam ? static_cast<core::AlignmentSink&>(*sam)
+            : static_cast<core::AlignmentSink&>(counter);
+
+    core::PipelineStats total;
+    double align_time_s = 0.0;
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      const std::string db = ensure_seqdb(batches[b]);
+      const auto res = session.align_batch_file(rt, db, sink);
+      align_time_s += res.total_time_s();
+      total += res.stats;
+      std::fprintf(stderr,
+                   "[meraligner] batch %zu/%zu (%s): %llu/%llu reads aligned "
+                   "(%.1f%%), %llu alignments, %.3f simulated s (index reused)\n",
+                   b + 1, batches.size(), batches[b].c_str(),
+                   static_cast<unsigned long long>(res.stats.reads_aligned),
+                   static_cast<unsigned long long>(res.stats.reads_processed),
+                   100.0 * res.stats.aligned_fraction(),
+                   static_cast<unsigned long long>(res.stats.alignments_reported),
+                   res.total_time_s());
+      if (args.has("stats")) {
+        res.report.print(std::cerr);
+        res.stats.print(std::cerr);
+      }
+    }
 
     std::fprintf(stderr,
-                 "[meraligner] %llu/%llu reads aligned (%.1f%%), "
-                 "%llu alignments, %.3f simulated s end-to-end\n",
-                 static_cast<unsigned long long>(res.stats.reads_aligned),
-                 static_cast<unsigned long long>(res.stats.reads_processed),
-                 100.0 * res.stats.aligned_fraction(),
-                 static_cast<unsigned long long>(res.stats.alignments_reported),
-                 res.total_time_s());
-    if (args.has("stats")) {
-      res.report.print(std::cerr);
-      res.stats.print(std::cerr);
-    }
+                 "[meraligner] total: %llu/%llu reads aligned (%.1f%%), "
+                 "%llu alignments, %.3f simulated s end-to-end "
+                 "(%.3f s index + %.3f s aligning)\n",
+                 static_cast<unsigned long long>(total.reads_aligned),
+                 static_cast<unsigned long long>(total.reads_processed),
+                 100.0 * total.aligned_fraction(),
+                 static_cast<unsigned long long>(total.alignments_reported),
+                 ref.build_report().total_time_s() + align_time_s,
+                 ref.build_report().total_time_s(), align_time_s);
     return 0;
+  } catch (const tools::UsageError& e) {
+    std::fprintf(stderr, "meraligner: error: %s\n\n%s\n", e.what(), kUsage);
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "meraligner: error: %s\n", e.what());
     return 1;
