@@ -54,10 +54,17 @@ void CountingSink::emit(int /*rank*/, const seq::SeqRecord& /*read*/,
 // SamStreamSink
 // ---------------------------------------------------------------------------
 
-SamStreamSink::SamStreamSink(std::ostream& os, const IndexedReference& ref)
+SamStreamSink::SamStreamSink(std::ostream& os, const IndexedReference& ref,
+                             SamProgram pg)
+    : SamStreamSink(os, sam_targets(ref.targets()), ref.nranks(),
+                    std::move(pg)) {}
+
+SamStreamSink::SamStreamSink(std::ostream& os, std::vector<SamTarget> targets,
+                             int nranks, SamProgram pg)
     : os_(&os),
-      targets_(&ref.targets()),
-      per_rank_(static_cast<std::size_t>(ref.nranks())) {}
+      targets_(std::move(targets)),
+      pg_(std::move(pg)),
+      per_rank_(static_cast<std::size_t>(nranks)) {}
 
 void SamStreamSink::emit(int rank, const seq::SeqRecord& read,
                          AlignmentRecord&& rec) {
@@ -71,12 +78,13 @@ void SamStreamSink::emit(int rank, const seq::SeqRecord& read,
 
 void SamStreamSink::batch_end() {
   if (!header_written_) {
-    write_sam_header(*os_, *targets_);
+    write_sam_header(*os_, targets_, pg_);
     header_written_ = true;
   }
   for (RankBuffer& buf : per_rank_) {
     for (const Pending& p : buf.recs) {
-      write_sam_record(*os_, p.rec, *targets_, buf.seqs[p.qseq_idx]);
+      write_sam_record(*os_, p.rec, targets_[p.rec.target_id].name,
+                       buf.seqs[p.qseq_idx]);
       ++written_;
     }
     buf = RankBuffer{};
@@ -88,14 +96,24 @@ void SamStreamSink::batch_end() {
 // ---------------------------------------------------------------------------
 
 struct SamFileSink::Impl {
-  Impl(const std::string& path, const IndexedReference& ref)
-      : os(path), sam(os, ref) {}
+  Impl(const std::string& path, std::vector<SamTarget> targets, int nranks,
+       SamProgram pg)
+      : os(path), sam(os, std::move(targets), nranks, std::move(pg)) {}
   std::ofstream os;
   SamStreamSink sam;
 };
 
-SamFileSink::SamFileSink(const std::string& path, const IndexedReference& ref)
-    : impl_(std::make_unique<Impl>(path, ref)), path_(path) {
+SamFileSink::SamFileSink(const std::string& path, const IndexedReference& ref,
+                         SamProgram pg)
+    : SamFileSink(path, sam_targets(ref.targets()), ref.nranks(),
+                  std::move(pg)) {}
+
+SamFileSink::SamFileSink(const std::string& path,
+                         std::vector<SamTarget> targets, int nranks,
+                         SamProgram pg)
+    : impl_(std::make_unique<Impl>(path, std::move(targets), nranks,
+                                   std::move(pg))),
+      path_(path) {
   if (!impl_->os)
     throw std::runtime_error("cannot open for writing: " + path_);
 }

@@ -17,12 +17,12 @@
 #include <vector>
 
 #include "core/alignment.hpp"
+#include "core/sam_writer.hpp"  // SamTarget, SamProgram
 #include "seq/fasta.hpp"
 
 namespace mera::core {
 
 class IndexedReference;
-class TargetStore;
 
 /// Receives alignment records as the rank workers produce them.
 ///
@@ -89,7 +89,13 @@ class CountingSink final : public AlignmentSink {
 /// memory is bounded by one batch, not the whole session.
 class SamStreamSink final : public AlignmentSink {
  public:
-  SamStreamSink(std::ostream& os, const IndexedReference& ref);
+  SamStreamSink(std::ostream& os, const IndexedReference& ref,
+                SamProgram pg = {});
+  /// Catalog form: records' target_id values index into `targets`. This is
+  /// how composed references (shard::ShardedReference) stream SAM — they
+  /// supply the merged global catalog instead of a single TargetStore.
+  SamStreamSink(std::ostream& os, std::vector<SamTarget> targets, int nranks,
+                SamProgram pg = {});
 
   void emit(int rank, const seq::SeqRecord& read,
             AlignmentRecord&& rec) override;
@@ -116,7 +122,8 @@ class SamStreamSink final : public AlignmentSink {
   };
 
   std::ostream* os_;
-  const TargetStore* targets_;
+  std::vector<SamTarget> targets_;  ///< name+length per global target id
+  SamProgram pg_;
   std::vector<RankBuffer> per_rank_;
   std::uint64_t written_ = 0;
   bool header_written_ = false;
@@ -128,7 +135,11 @@ class SamStreamSink final : public AlignmentSink {
 /// or missed — at destruction.
 class SamFileSink final : public AlignmentSink {
  public:
-  SamFileSink(const std::string& path, const IndexedReference& ref);
+  SamFileSink(const std::string& path, const IndexedReference& ref,
+              SamProgram pg = {});
+  /// Catalog form (see SamStreamSink).
+  SamFileSink(const std::string& path, std::vector<SamTarget> targets,
+              int nranks, SamProgram pg = {});
   ~SamFileSink() override;
 
   void emit(int rank, const seq::SeqRecord& read,

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <random>
@@ -17,13 +18,34 @@
 
 namespace mera::core {
 
+/// Uniform draw from [0, bound) without modulo bias: `rng() % bound` favours
+/// small values whenever 2^64 is not a multiple of `bound`. Rejection on the
+/// truncated top bucket keeps every value exactly equally likely, and the
+/// algorithm is fully specified (mt19937_64 output is portable), so a fixed
+/// seed still yields the same draw sequence on every platform.
+/// `bound` must be > 0.
+[[nodiscard]] inline std::uint64_t uniform_below(std::mt19937_64& rng,
+                                                 std::uint64_t bound) {
+  assert(bound > 0 && "uniform_below: empty range");
+  std::uint64_t x = rng();
+  std::uint64_t r = x % bound;
+  // x - r is the bucket base; buckets starting above 2^64 - bound are
+  // truncated and must be redrawn (at most one incomplete bucket exists).
+  while (x - r > std::uint64_t{0} - bound) {
+    x = rng();
+    r = x % bound;
+  }
+  return r;
+}
+
 /// Fisher-Yates permutation with a fixed seed (all ranks must agree on the
-/// permutation, so the seed is part of the aligner configuration).
+/// permutation, so the seed is part of the aligner configuration). Uses the
+/// unbiased bounded draw above, so every permutation is equally likely.
 template <typename T>
 void permute_queries(std::vector<T>& items, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   for (std::size_t i = items.size(); i > 1; --i) {
-    const std::size_t j = rng() % i;
+    const auto j = static_cast<std::size_t>(uniform_below(rng, i));
     std::swap(items[i - 1], items[j]);
   }
 }
@@ -46,7 +68,8 @@ void permute_queries(std::vector<T>& items, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   std::vector<std::uint64_t> bins(static_cast<std::size_t>(p), 0);
   for (std::uint64_t i = 0; i < h; ++i)
-    ++bins[static_cast<std::size_t>(rng() % static_cast<std::uint64_t>(p))];
+    ++bins[static_cast<std::size_t>(
+        uniform_below(rng, static_cast<std::uint64_t>(p)))];
   return *std::max_element(bins.begin(), bins.end());
 }
 

@@ -1,6 +1,13 @@
 // Minimal SAM output for alignment records.
+//
+// Two layers of reference description are accepted: a TargetStore (the
+// single-index case — names and lengths are read straight from the store) or
+// a flat SamTarget catalog (anything that can enumerate name+length per
+// global target id, e.g. shard::ShardedReference's merged view). Both produce
+// byte-identical headers for the same target sequence set.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -10,13 +17,38 @@
 
 namespace mera::core {
 
-/// Write @HD/@SQ headers for every target in the store.
-void write_sam_header(std::ostream& os, const TargetStore& targets);
+/// One @SQ header entry: everything SAM needs to know about a target.
+struct SamTarget {
+  std::string name;
+  std::size_t length = 0;
+};
 
-/// One SAM line per record; `query_len` and `query_seq` refer to the read in
-/// its original (forward) orientation, as SAM requires seq to be stored
+/// The @PG header line (program name / version / command line). The
+/// command_line is only known to executables, so it defaults to empty and the
+/// CL field is omitted; library callers keep their historical header bytes.
+struct SamProgram {
+  std::string id = "merAligner";
+  std::string name = "merAligner";
+  std::string version = "1.0";
+  std::string command_line;  ///< empty = omit the CL field
+};
+
+/// Flatten a TargetStore into a SamTarget catalog (global target-id order).
+[[nodiscard]] std::vector<SamTarget> sam_targets(const TargetStore& targets);
+
+/// Write @HD/@SQ/@PG headers for every target in the catalog.
+void write_sam_header(std::ostream& os, const std::vector<SamTarget>& targets,
+                      const SamProgram& pg = {});
+void write_sam_header(std::ostream& os, const TargetStore& targets,
+                      const SamProgram& pg = {});
+
+/// One SAM line per record; `query_seq` refers to the read in its original
+/// (forward) orientation, as SAM requires seq to be stored
 /// reverse-complemented with flag 0x10 when the alignment is on the reverse
-/// strand.
+/// strand. `target_name` is the name of the record's target sequence.
+void write_sam_record(std::ostream& os, const AlignmentRecord& rec,
+                      const std::string& target_name,
+                      const std::string& query_seq);
 void write_sam_record(std::ostream& os, const AlignmentRecord& rec,
                       const TargetStore& targets, const std::string& query_seq);
 

@@ -1,0 +1,153 @@
+#include "shard/sharded_session.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "core/load_balance.hpp"
+#include "seq/seqdb.hpp"
+
+namespace mera::shard {
+
+namespace {
+
+/// Internal sink: keeps every record a shard emits, per rank, in emission
+/// order, tagged with the read it belongs to. Ranks emit a read's records
+/// consecutively and reads in partition order, so each per-rank buffer is
+/// already grouped and ordered by read — reconciliation walks the buffers
+/// with one cursor per shard.
+class CollectorSink final : public core::AlignmentSink {
+ public:
+  struct Entry {
+    const seq::SeqRecord* read;
+    core::AlignmentRecord rec;
+  };
+
+  explicit CollectorSink(int nranks)
+      : per_rank_(static_cast<std::size_t>(nranks)) {}
+
+  void emit(int rank, const seq::SeqRecord& read,
+            core::AlignmentRecord&& rec) override {
+    per_rank_[static_cast<std::size_t>(rank)].push_back(
+        Entry{&read, std::move(rec)});
+  }
+
+  std::vector<std::vector<Entry>>& per_rank() { return per_rank_; }
+
+ private:
+  std::vector<std::vector<Entry>> per_rank_;
+};
+
+/// The deterministic global order of one read's reconciled candidates: best
+/// score first, then global target id, then target position; the remaining
+/// fields make the order total so ties cannot depend on shard arrival order.
+bool better_hit(const core::AlignmentRecord& a, const core::AlignmentRecord& b) {
+  return std::tie(b.score, a.target_id, a.t_begin, a.reverse, a.q_begin,
+                  a.q_end, a.t_end, a.cigar, a.mismatches, a.exact) <
+         std::tie(a.score, b.target_id, b.t_begin, b.reverse, b.q_begin,
+                  b.q_end, b.t_end, b.cigar, b.mismatches, b.exact);
+}
+
+}  // namespace
+
+double ShardedBatchResult::time_parallel_s() const {
+  double t = 0.0;
+  for (const core::BatchResult& b : per_shard)
+    t = std::max(t, b.total_time_s());
+  return t;
+}
+
+ShardedAlignSession::ShardedAlignSession(ShardedReference ref,
+                                         core::SessionConfig cfg)
+    : ref_(std::move(ref)), cfg_(std::move(cfg)) {
+  core::SessionConfig per_shard = cfg_;
+  per_shard.permute_queries = false;  // applied once, at this level
+  sessions_.reserve(static_cast<std::size_t>(ref_.num_shards()));
+  for (int s = 0; s < ref_.num_shards(); ++s)
+    sessions_.push_back(
+        std::make_unique<core::AlignSession>(ref_.shard(s), per_shard));
+}
+
+ShardedBatchResult ShardedAlignSession::align_batch(
+    pgas::Runtime& rt, const std::vector<seq::SeqRecord>& reads,
+    core::AlignmentSink& sink) {
+  if (!cfg_.permute_queries) return run_batch(rt, reads, sink);
+  std::vector<seq::SeqRecord> permuted = reads;
+  core::permute_queries(permuted, cfg_.permute_seed);
+  return run_batch(rt, permuted, sink);
+}
+
+ShardedBatchResult ShardedAlignSession::align_batch_file(
+    pgas::Runtime& rt, const std::string& reads_seqdb,
+    core::AlignmentSink& sink) {
+  // One read of the file for all K shards. Permuting the loaded records with
+  // the session seed is the same Fisher-Yates the single-reference file path
+  // applies to record indices, so rank assignments match it exactly.
+  seq::SeqDBReader db(reads_seqdb);
+  std::vector<seq::SeqRecord> reads;
+  reads.reserve(db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) reads.push_back(db.read(i));
+  if (cfg_.permute_queries) core::permute_queries(reads, cfg_.permute_seed);
+  return run_batch(rt, reads, sink);
+}
+
+ShardedBatchResult ShardedAlignSession::run_batch(
+    pgas::Runtime& rt, const std::vector<seq::SeqRecord>& reads,
+    core::AlignmentSink& sink) {
+  const int nshards = ref_.num_shards();
+  const int nranks = rt.nranks();
+
+  // ---- 1+2: every shard aligns the full batch; ids go global --------------
+  ShardedBatchResult res;
+  res.per_shard.reserve(static_cast<std::size_t>(nshards));
+  std::vector<CollectorSink> collected;
+  collected.reserve(static_cast<std::size_t>(nshards));
+  for (int s = 0; s < nshards; ++s) {
+    CollectorSink& coll = collected.emplace_back(nranks);
+    res.per_shard.push_back(sessions_[static_cast<std::size_t>(s)]->align_batch(
+        rt, reads, coll));
+    for (auto& rank_entries : coll.per_rank())
+      for (CollectorSink::Entry& e : rank_entries)
+        e.rec.target_id = ref_.to_global(s, e.rec.target_id);
+  }
+
+  // ---- aggregate stats + report -------------------------------------------
+  for (const core::BatchResult& b : res.per_shard) {
+    res.report.append(b.report);
+    res.stats += b.stats;
+  }
+  // Read-scoped counters must count each read once, not once per shard.
+  res.stats.reads_processed =
+      res.per_shard.empty() ? 0 : res.per_shard.front().stats.reads_processed;
+  res.stats.reads_aligned = 0;
+
+  // ---- 3+4: reconcile per (rank, read) and emit ---------------------------
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(nshards), 0);
+  std::vector<core::AlignmentRecord> merged;
+  const std::size_t n = reads.size();
+  for (int r = 0; r < nranks; ++r) {
+    const auto rr = static_cast<std::size_t>(r);
+    const std::size_t lo = n * rr / static_cast<std::size_t>(nranks);
+    const std::size_t hi = n * (rr + 1) / static_cast<std::size_t>(nranks);
+    for (auto& c : cursor) c = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const seq::SeqRecord& read = reads[i];
+      merged.clear();
+      for (int s = 0; s < nshards; ++s) {
+        auto& entries = collected[static_cast<std::size_t>(s)].per_rank()[rr];
+        auto& c = cursor[static_cast<std::size_t>(s)];
+        while (c < entries.size() && entries[c].read == &read)
+          merged.push_back(std::move(entries[c++].rec));
+      }
+      if (!merged.empty()) ++res.stats.reads_aligned;
+      std::sort(merged.begin(), merged.end(), better_hit);
+      for (core::AlignmentRecord& rec : merged)
+        sink.emit(r, read, std::move(rec));
+    }
+  }
+  sink.batch_end();
+  ++batches_done_;
+  return res;
+}
+
+}  // namespace mera::shard

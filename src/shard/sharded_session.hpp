@@ -1,0 +1,112 @@
+// Streaming query batches against a ShardedReference.
+//
+// A ShardedAlignSession owns one core::AlignSession per shard and makes the
+// K shards behave like a single reference:
+//
+//   1. every query batch is streamed through every shard's session (each
+//      shard sees the full batch — screening is all-vs-all across shards);
+//   2. per-shard records are collected, their shard-local target ids are
+//      rewritten to global ids through the ShardedReference mapping;
+//   3. per (rank, read), the candidates from all shards are reconciled into
+//      one deterministic global order — best score first, ties broken by
+//      global target id, then target position (then the remaining record
+//      fields, so the order is total);
+//   4. the reconciled stream is emitted into the caller's AlignmentSink in
+//      the usual rank-major, read-order sequence, followed by one
+//      batch_end() — sinks cannot tell a sharded session from a plain one.
+//
+// Equivalence contract: with the per-shard search exhaustive — exact-match
+// fast path off and max_hits_per_seed large enough that no lookup truncates
+// — the union of per-shard candidates IS the monolithic candidate set
+// (targets partition across shards; seed hits and SW extensions are
+// per-target), so a K-shard batch reports bit-identical records, SAM content
+// and work totals to the equivalent single-IndexedReference session
+// (tests/test_shard.cpp proves it for K in {1,2,4}). With the exact-match
+// short-circuit or hit truncation enabled, those per-read shortcuts apply
+// per shard, and the sharded result may explore more candidates than the
+// monolithic one — fine for screening, but not bit-comparable.
+//
+// Stats: reads are processed once per shard, so shard counters are summed
+// for work totals (lookups, SW calls, fetches) while read-scoped counters
+// (reads_processed, reads_aligned) count each read ONCE, computed during
+// reconciliation. Phase reports are appended shard by shard; total_time_s()
+// is the serial composition, time_parallel_s() the per-runtime view (shards
+// on K machines run concurrently: the batch costs the slowest shard).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/align_session.hpp"
+#include "shard/sharded_reference.hpp"
+
+namespace mera::shard {
+
+/// Outcome of one sharded align_batch() call.
+struct ShardedBatchResult {
+  /// Every shard's batch phases (io.reads, align), appended in shard order.
+  pgas::PhaseReport report;
+  /// Reconciled totals: work counters summed over shards, read counters
+  /// (reads_processed / reads_aligned) counted once per read.
+  core::PipelineStats stats;
+  /// Each shard's own BatchResult (per-shard stats, cache deltas, report).
+  std::vector<core::BatchResult> per_shard;
+
+  /// Serial composition (shards streamed one after another on this machine).
+  [[nodiscard]] double total_time_s() const { return report.total_time_s(); }
+  /// Per-runtime composition (each shard on its own machine): slowest shard.
+  [[nodiscard]] double time_parallel_s() const;
+};
+
+class ShardedAlignSession {
+ public:
+  /// The reference handle is cheap (shared immutable state). Query
+  /// permutation (Section IV-B) is applied ONCE at this level with
+  /// cfg.permute_seed; the per-shard sessions then see the same pre-permuted
+  /// order, which keeps every shard's rank partition aligned.
+  explicit ShardedAlignSession(ShardedReference ref,
+                               core::SessionConfig cfg = {});
+
+  /// Align one in-memory batch against every shard; callable any number of
+  /// times. Each shard session's software caches persist across batches.
+  ShardedBatchResult align_batch(pgas::Runtime& rt,
+                                 const std::vector<seq::SeqRecord>& reads,
+                                 core::AlignmentSink& sink);
+
+  /// Align one SeqDB file batch. The file is read once (not once per shard)
+  /// on the driving thread and then streamed through the in-memory path.
+  ShardedBatchResult align_batch_file(pgas::Runtime& rt,
+                                      const std::string& reads_seqdb,
+                                      core::AlignmentSink& sink);
+
+  [[nodiscard]] const core::SessionConfig& config() const noexcept {
+    return cfg_;
+  }
+  [[nodiscard]] const ShardedReference& reference() const noexcept {
+    return ref_;
+  }
+  [[nodiscard]] int num_shards() const noexcept { return ref_.num_shards(); }
+  [[nodiscard]] std::size_t batches_aligned() const noexcept {
+    return batches_done_;
+  }
+  [[nodiscard]] const core::AlignSession& shard_session(int s) const {
+    return *sessions_.at(static_cast<std::size_t>(s));
+  }
+
+ private:
+  ShardedBatchResult run_batch(pgas::Runtime& rt,
+                               const std::vector<seq::SeqRecord>& reads,
+                               core::AlignmentSink& sink);
+
+  ShardedReference ref_;
+  core::SessionConfig cfg_;
+  /// One session per shard (AlignSession owns mutex-guarded caches, so the
+  /// sessions live behind stable pointers). Their configs disable
+  /// permutation — it already happened at this level.
+  std::vector<std::unique_ptr<core::AlignSession>> sessions_;
+  std::size_t batches_done_ = 0;
+};
+
+}  // namespace mera::shard

@@ -5,12 +5,18 @@
 #   GOLDEN  - checked-in expected SAM (tests/golden/meraligner_cli.sam)
 #   WORKDIR - scratch directory for this run
 #
-# Three scenarios share one golden file:
-#   1. single batch:  --reads reads.fastq            -> golden SAM
+# Scenarios:
+#   1. single batch, one run per --sw kernel (full/banded/striped): all three
+#      must produce the SAME golden SAM — the banded and striped kernels are
+#      exact over their windows, so kernel choice must not change output
 #   2. multi batch:   --reads reads_a --reads reads_b (one index, two batches)
 #                     -> the SAME record set, since per-read results depend
 #                     only on the prebuilt index, not on batch boundaries
 #   3. bad flags must fail fast with a usage message, not be ignored
+#   4. sharded reference: --shards 3 must reproduce the single-index record
+#      set exactly (run with --no-exact on both sides: the Lemma-1
+#      single-copy shortcut is defined per index, so it is the one knob that
+#      legitimately differs between one index and K shards)
 #
 # Fixtures are copied into WORKDIR first because the CLI writes a derived
 # .sdb file next to the input FASTQ; the source tree must stay clean.
@@ -25,11 +31,15 @@ file(COPY ${FIXTURES}/contigs.fa ${FIXTURES}/reads.fastq
      DESTINATION ${WORKDIR})
 
 # SAM record order is not semantically meaningful (the pipeline emits per-rank
-# batches), so compare sorted line sets. Read names contain ';' (CMake's list
-# separator), so shield them with a placeholder before any list operation —
-# otherwise list(SORT) silently splits records into fragments.
+# batches, and index bucket order is thread-arrival order), so compare sorted
+# line sets. The @PG CL field embeds absolute scratch paths, so it is
+# canonicalized before comparing — its presence is asserted separately. Read
+# names contain ';' (CMake's list separator), so shield them with a
+# placeholder before any list operation — otherwise list(SORT) silently
+# splits records into fragments.
 function(normalize in_path out_path)
   file(READ ${in_path} content)
+  string(REGEX REPLACE "\tCL:[^\n]*" "\tCL:<normalized>" content "${content}")
   string(REPLACE ";" "<SEMI>" content "${content}")
   string(REPLACE "\n" ";" lines "${content}")
   list(SORT lines)
@@ -38,37 +48,51 @@ function(normalize in_path out_path)
   file(WRITE ${out_path} "${text}\n")
 endfunction()
 
-function(check_sam produced label)
+function(check_sam_against produced expected label)
   normalize(${produced} ${produced}.sorted)
-  normalize(${GOLDEN} ${WORKDIR}/golden.sorted.sam)
+  normalize(${expected} ${WORKDIR}/expected.sorted.sam)
   execute_process(
     COMMAND ${CMAKE_COMMAND} -E compare_files
-      ${produced}.sorted ${WORKDIR}/golden.sorted.sam
+      ${produced}.sorted ${WORKDIR}/expected.sorted.sam
     RESULT_VARIABLE diff_rc)
   if(NOT diff_rc EQUAL 0)
     message(FATAL_ERROR
-      "${label}: SAM output differs from golden file.\n"
+      "${label}: SAM output differs from ${expected}.\n"
       "  produced: ${produced}\n"
-      "  expected: ${GOLDEN}\n"
       "If the change is intentional, re-baseline by copying the produced file "
-      "over the golden one (see tests/golden/gen_fixtures.cpp).")
+      "over the golden one and replacing the @PG CL:... field with "
+      "CL:<normalized> — it embeds run-specific paths "
+      "(see tests/golden/gen_fixtures.cpp).")
   endif()
 endfunction()
 
-# --- 1. single batch --------------------------------------------------------
-execute_process(
-  COMMAND ${CLI}
-    --targets ${WORKDIR}/contigs.fa
-    --reads ${WORKDIR}/reads.fastq
-    --out ${WORKDIR}/out.sam
-    --k 31 --ranks 4 --ppn 2 --no-permute
-  RESULT_VARIABLE rc
-  OUTPUT_VARIABLE out
-  ERROR_VARIABLE err)
-if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "meraligner_cli exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+function(check_sam produced label)
+  check_sam_against(${produced} ${GOLDEN} "${label}")
+endfunction()
+
+# --- 1. single batch, all three SW kernel selectors --------------------------
+foreach(sw full banded striped)
+  execute_process(
+    COMMAND ${CLI}
+      --targets ${WORKDIR}/contigs.fa
+      --reads ${WORKDIR}/reads.fastq
+      --out ${WORKDIR}/out_${sw}.sam
+      --k 31 --ranks 4 --ppn 2 --no-permute --sw ${sw}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "meraligner_cli --sw ${sw} exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  check_sam(${WORKDIR}/out_${sw}.sam "single-batch --sw ${sw}")
+endforeach()
+
+# The header must carry a spec-complete @PG line: program, version, and the
+# command line of the invocation that produced the file.
+file(READ ${WORKDIR}/out_full.sam full_sam)
+if(NOT full_sam MATCHES "@PG\tID:merAligner\tPN:meraligner\tVN:[^\n\t]+\tCL:[^\n]*--targets")
+  message(FATAL_ERROR "single-batch SAM lacks a @PG line with PN/VN/CL")
 endif()
-check_sam(${WORKDIR}/out.sam "single-batch")
 
 # --- 2. multi batch over one reused index -----------------------------------
 execute_process(
@@ -104,3 +128,34 @@ endif()
 if(NOT err MATCHES "unknown flag" OR NOT err MATCHES "meraligner --targets")
   message(FATAL_ERROR "bad-flag run did not print the usage message:\n${err}")
 endif()
+
+# --- 4. sharded reference reproduces the single-index record set -------------
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --out ${WORKDIR}/out_single_noexact.sam
+    --k 31 --ranks 4 --ppn 2 --no-permute --no-exact
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "single-index --no-exact run exited with ${rc}\nstderr:\n${err}")
+endif()
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --out ${WORKDIR}/out_sharded.sam
+    --k 31 --ranks 4 --ppn 2 --no-permute --no-exact --shards 3
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sharded meraligner_cli exited with ${rc}\nstderr:\n${err}")
+endif()
+if(NOT err MATCHES "sharded index built: 3 shards")
+  message(FATAL_ERROR "sharded run did not report its shards:\n${err}")
+endif()
+check_sam_against(${WORKDIR}/out_sharded.sam ${WORKDIR}/out_single_noexact.sam
+                  "sharded-vs-single")

@@ -4,12 +4,48 @@
 
 #include <algorithm>
 #include <numeric>
+#include <random>
 #include <string>
 #include <vector>
 
 namespace {
 
 using namespace mera::core;
+
+TEST(Permute, BoundedDrawStaysInRangeForAwkwardBounds) {
+  std::mt19937_64 rng(1);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 7ull, 1000ull,
+                                    (1ull << 63) + 1, ~0ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(uniform_below(rng, bound), bound);
+  }
+}
+
+TEST(Permute, BoundedDrawIsUnbiasedOverHugeBounds) {
+  // The old `rng() % bound` draw maps 2^64 values onto `bound` buckets; with
+  // bound = 2^63 + 2^62 the low half of the range is twice as likely as the
+  // high half (2 source values vs 1). The rejection draw makes the halves
+  // equally likely — a bias this coarse is detectable in a few thousand
+  // draws: P(low) is 2/3 biased vs 1/2 unbiased.
+  const std::uint64_t bound = (1ull << 63) + (1ull << 62);
+  std::mt19937_64 rng(99);
+  const int n = 20'000;
+  int low = 0;
+  for (int i = 0; i < n; ++i)
+    low += uniform_below(rng, bound) < bound / 2 ? 1 : 0;
+  const double frac = static_cast<double>(low) / n;
+  EXPECT_NEAR(frac, 0.5, 0.02);  // biased draw would give ~0.667
+}
+
+TEST(Permute, FixedSeedPermutationIsPinnedAcrossPlatforms) {
+  // The determinism contract: mt19937_64 output and the rejection draw are
+  // both fully specified, so seed 42 must produce exactly this permutation
+  // everywhere, forever. Re-pin only on a deliberate algorithm change.
+  std::vector<int> v(10);
+  std::iota(v.begin(), v.end(), 0);
+  permute_queries(v, 42);
+  const std::vector<int> pinned = {1, 7, 9, 0, 3, 8, 4, 2, 5, 6};
+  EXPECT_EQ(v, pinned);
+}
 
 TEST(Permute, IsDeterministicPerSeed) {
   std::vector<int> a(1000), b(1000);

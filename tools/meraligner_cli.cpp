@@ -7,17 +7,26 @@
 //              [--fragment-len 1024] [--sw full|banded|striped] [--no-exact]
 //              [--no-seed-cache] [--no-target-cache] [--no-aggregation]
 //              [--no-permute] [--stats]
+//              [--shards K] [--shard-by cost|bases]
 //
 // The distributed seed index is built ONCE from --targets; every --reads
 // batch is then streamed against it through one AlignSession, so batch N>1
 // pays no index construction. With --out, all batches stream into a single
 // SAM file (header once). Unknown flags are an error (exit 2), not ignored.
 //
+// Sharded references: pass --shards K to split one --targets collection into
+// K balanced per-runtime index shards (planned by total bases or cost-model
+// seed weight, --shard-by), or pass --targets repeatedly for one shard per
+// FASTA. Batches then stream through a ShardedAlignSession that reconciles
+// per-shard hits into one SAM with global target ids — the "GenBank-scale"
+// screening layout where no single runtime holds the whole index.
+//
 // FASTQ inputs are converted to a temporary SeqDB next to the input (the
 // paper's one-time lossless preprocessing) so every rank can read its own
 // byte range.
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,7 +35,10 @@
 #include "core/align_session.hpp"
 #include "core/alignment_sink.hpp"
 #include "core/indexed_reference.hpp"
+#include "seq/fasta.hpp"
 #include "seq/seqdb.hpp"
+#include "shard/sharded_reference.hpp"
+#include "shard/sharded_session.hpp"
 
 namespace {
 
@@ -37,9 +49,13 @@ constexpr const char* kUsage =
     "           [--fragment-len 1024] [--sw full|banded|striped]\n"
     "           [--no-exact] [--no-seed-cache] [--no-target-cache]\n"
     "           [--no-aggregation] [--no-permute] [--stats]\n"
+    "           [--shards K] [--shard-by cost|bases]\n"
     "\n"
     "The index over --targets is built once; each --reads batch is aligned\n"
-    "against it in order, streaming SAM into --out (one header, all batches).";
+    "against it in order, streaming SAM into --out (one header, all batches).\n"
+    "--shards K splits one target collection into K balanced index shards;\n"
+    "repeating --targets makes one shard per FASTA. Either way the batches\n"
+    "stream through every shard and come out as one reconciled SAM.";
 
 mera::align::SwKernel parse_kernel(const std::string& name) {
   using mera::align::SwKernel;
@@ -48,6 +64,14 @@ mera::align::SwKernel parse_kernel(const std::string& name) {
   if (name == "striped") return SwKernel::kStriped;
   throw mera::tools::UsageError("--sw expects full|banded|striped, got '" +
                                 name + "'");
+}
+
+mera::shard::ShardWeight parse_shard_weight(const std::string& name) {
+  using mera::shard::ShardWeight;
+  if (name == "cost") return ShardWeight::kCostModel;
+  if (name == "bases") return ShardWeight::kBases;
+  throw mera::tools::UsageError("--shard-by expects cost|bases, got '" + name +
+                                "'");
 }
 
 /// FASTQ batches get the one-time lossless SeqDB conversion.
@@ -63,6 +87,42 @@ std::string ensure_seqdb(const std::string& reads) {
   return reads;
 }
 
+/// The @PG CL field: the invocation verbatim, space-separated.
+std::string command_line_of(int argc, char** argv) {
+  std::string cl;
+  for (int i = 0; i < argc; ++i) {
+    if (i) cl += ' ';
+    cl += argv[i];
+  }
+  return cl;
+}
+
+void print_batch_line(std::size_t b, std::size_t nbatches,
+                      const std::string& name, const mera::core::PipelineStats& s,
+                      double time_s) {
+  std::fprintf(stderr,
+               "[meraligner] batch %zu/%zu (%s): %llu/%llu reads aligned "
+               "(%.1f%%), %llu alignments, %.3f simulated s (index reused)\n",
+               b + 1, nbatches, name.c_str(),
+               static_cast<unsigned long long>(s.reads_aligned),
+               static_cast<unsigned long long>(s.reads_processed),
+               100.0 * s.aligned_fraction(),
+               static_cast<unsigned long long>(s.alignments_reported), time_s);
+}
+
+void print_total_line(const mera::core::PipelineStats& total, double index_s,
+                      double align_s) {
+  std::fprintf(stderr,
+               "[meraligner] total: %llu/%llu reads aligned (%.1f%%), "
+               "%llu alignments, %.3f simulated s end-to-end "
+               "(%.3f s index + %.3f s aligning)\n",
+               static_cast<unsigned long long>(total.reads_aligned),
+               static_cast<unsigned long long>(total.reads_processed),
+               100.0 * total.aligned_fraction(),
+               static_cast<unsigned long long>(total.alignments_reported),
+               index_s + align_s, index_s, align_s);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -76,8 +136,10 @@ int main(int argc, char** argv) {
     args.check_known({"targets", "reads", "out", "k", "ranks", "ppn", "S",
                       "max-hits", "fragment-len", "sw", "no-exact",
                       "no-seed-cache", "no-target-cache", "no-aggregation",
-                      "no-permute", "stats", "help"});
-    const std::string targets = args.require("targets");
+                      "no-permute", "stats", "shards", "shard-by", "help"});
+    const std::vector<std::string> target_files = args.get_all("targets");
+    if (target_files.empty())
+      throw tools::UsageError("missing required flag --targets");
     std::vector<std::string> batches = args.get_all("reads");
     if (batches.empty()) throw tools::UsageError("missing required flag --reads");
     const std::string out = args.get("out");
@@ -103,54 +165,124 @@ int main(int argc, char** argv) {
     const int ppn = static_cast<int>(args.get_int("ppn", 4));
     pgas::Runtime rt(pgas::Topology(nranks, ppn));
 
-    const auto ref = core::IndexedReference::build_from_fasta(rt, targets, icfg);
-    std::fprintf(stderr,
-                 "[meraligner] index built: %zu entries, %.3f simulated s "
-                 "(amortized over %zu batch%s)\n",
-                 ref.index_entries(), ref.build_report().total_time_s(),
-                 batches.size(), batches.size() == 1 ? "" : "es");
-    if (args.has("stats")) ref.build_report().print(std::cerr);
+    core::SamProgram pg;
+    pg.name = "meraligner";
+    pg.command_line = command_line_of(argc, argv);
 
-    core::AlignSession session(ref, scfg);
+    const long shards_flag = args.get_int("shards", 0);
+    if (args.has("shards") && shards_flag < 1)
+      throw tools::UsageError("--shards must be >= 1");
+    if (target_files.size() > 1 && shards_flag != 0 &&
+        shards_flag != static_cast<long>(target_files.size()))
+      throw tools::UsageError(
+          "--shards conflicts with repeated --targets (one shard per file)");
+    const bool sharded = target_files.size() > 1 || shards_flag > 1;
+    // --shard-by steers the planner, which only runs when one collection is
+    // being split; anywhere else the flag would be a silent no-op.
+    if (args.has("shard-by") && (target_files.size() > 1 || shards_flag < 2))
+      throw tools::UsageError(
+          "--shard-by requires --shards K (K >= 2) with a single --targets "
+          "collection");
+
+    if (!sharded) {
+      // ---- single-index path ---------------------------------------------
+      const auto ref =
+          core::IndexedReference::build_from_fasta(rt, target_files[0], icfg);
+      std::fprintf(stderr,
+                   "[meraligner] index built: %zu entries, %.3f simulated s "
+                   "(amortized over %zu batch%s)\n",
+                   ref.index_entries(), ref.build_report().total_time_s(),
+                   batches.size(), batches.size() == 1 ? "" : "es");
+      if (args.has("stats")) ref.build_report().print(std::cerr);
+
+      core::AlignSession session(ref, scfg);
+      std::optional<core::SamFileSink> sam;
+      core::CountingSink counter;
+      if (!out.empty()) sam.emplace(out, ref, pg);
+      core::AlignmentSink& sink =
+          sam ? static_cast<core::AlignmentSink&>(*sam)
+              : static_cast<core::AlignmentSink&>(counter);
+
+      core::PipelineStats total;
+      double align_time_s = 0.0;
+      for (std::size_t b = 0; b < batches.size(); ++b) {
+        const std::string db = ensure_seqdb(batches[b]);
+        const auto res = session.align_batch_file(rt, db, sink);
+        align_time_s += res.total_time_s();
+        total += res.stats;
+        print_batch_line(b, batches.size(), batches[b], res.stats,
+                         res.total_time_s());
+        if (args.has("stats")) {
+          res.report.print(std::cerr);
+          res.stats.print(std::cerr);
+        }
+      }
+      print_total_line(total, ref.build_report().total_time_s(), align_time_s);
+      return 0;
+    }
+
+    // ---- sharded path -----------------------------------------------------
+    std::optional<shard::ShardedReference> ref;
+    if (target_files.size() > 1) {
+      ref = shard::ShardedReference::build_from_fastas(rt, target_files, icfg);
+    } else {
+      shard::ShardPlanOptions popt;
+      popt.shards = static_cast<int>(shards_flag);
+      popt.weight = parse_shard_weight(args.get("shard-by", "cost"));
+      popt.k = icfg.k;
+      const auto targets = seq::read_fasta(target_files[0]);
+      ref = shard::ShardedReference::build(
+          rt, targets, shard::plan_shards(targets, popt), icfg);
+      if (ref->num_shards() != popt.shards)
+        std::fprintf(stderr,
+                     "[meraligner] warning: --shards %d clamped to %d (one "
+                     "shard per target is the maximum)\n",
+                     popt.shards, ref->num_shards());
+    }
+    std::fprintf(stderr,
+                 "[meraligner] sharded index built: %d shards, %u targets, "
+                 "%zu entries; build %.3f simulated s serial, %.3f s if each "
+                 "shard had its own runtime\n",
+                 ref->num_shards(), ref->num_targets(), ref->index_entries(),
+                 ref->build_time_serial_s(), ref->build_time_parallel_s());
+    for (int s = 0; s < ref->num_shards(); ++s)
+      std::fprintf(stderr,
+                   "[meraligner]   shard %d: %u targets, %zu entries, "
+                   "build %.3f simulated s\n",
+                   s, ref->shard(s).targets().num_targets(),
+                   ref->shard(s).index_entries(),
+                   ref->shard(s).build_report().total_time_s());
+    if (args.has("stats")) ref->build_report().print(std::cerr);
+
+    shard::ShardedAlignSession session(*ref, scfg);
     std::optional<core::SamFileSink> sam;
     core::CountingSink counter;
-    if (!out.empty()) sam.emplace(out, ref);
+    if (!out.empty()) sam.emplace(out, ref->sam_targets(), rt.nranks(), pg);
     core::AlignmentSink& sink =
         sam ? static_cast<core::AlignmentSink&>(*sam)
             : static_cast<core::AlignmentSink&>(counter);
 
     core::PipelineStats total;
-    double align_time_s = 0.0;
+    double align_serial_s = 0.0, align_parallel_s = 0.0;
     for (std::size_t b = 0; b < batches.size(); ++b) {
       const std::string db = ensure_seqdb(batches[b]);
       const auto res = session.align_batch_file(rt, db, sink);
-      align_time_s += res.total_time_s();
+      align_serial_s += res.total_time_s();
+      align_parallel_s += res.time_parallel_s();
       total += res.stats;
-      std::fprintf(stderr,
-                   "[meraligner] batch %zu/%zu (%s): %llu/%llu reads aligned "
-                   "(%.1f%%), %llu alignments, %.3f simulated s (index reused)\n",
-                   b + 1, batches.size(), batches[b].c_str(),
-                   static_cast<unsigned long long>(res.stats.reads_aligned),
-                   static_cast<unsigned long long>(res.stats.reads_processed),
-                   100.0 * res.stats.aligned_fraction(),
-                   static_cast<unsigned long long>(res.stats.alignments_reported),
-                   res.total_time_s());
+      print_batch_line(b, batches.size(), batches[b], res.stats,
+                       res.total_time_s());
       if (args.has("stats")) {
         res.report.print(std::cerr);
         res.stats.print(std::cerr);
       }
     }
-
+    print_total_line(total, ref->build_time_serial_s(), align_serial_s);
     std::fprintf(stderr,
-                 "[meraligner] total: %llu/%llu reads aligned (%.1f%%), "
-                 "%llu alignments, %.3f simulated s end-to-end "
-                 "(%.3f s index + %.3f s aligning)\n",
-                 static_cast<unsigned long long>(total.reads_aligned),
-                 static_cast<unsigned long long>(total.reads_processed),
-                 100.0 * total.aligned_fraction(),
-                 static_cast<unsigned long long>(total.alignments_reported),
-                 ref.build_report().total_time_s() + align_time_s,
-                 ref.build_report().total_time_s(), align_time_s);
+                 "[meraligner] per-runtime view (%d shards in parallel): "
+                 "%.3f s index + %.3f s aligning\n",
+                 ref->num_shards(), ref->build_time_parallel_s(),
+                 align_parallel_s);
     return 0;
   } catch (const tools::UsageError& e) {
     std::fprintf(stderr, "meraligner: error: %s\n\n%s\n", e.what(), kUsage);
