@@ -9,7 +9,10 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "seq/fasta.hpp"
@@ -108,5 +111,82 @@ inline void print_header(const char* title, const char* paper_ref) {
   std::printf("(simulated-model seconds; compare factors/shape, not absolutes)\n");
   std::printf("==============================================================\n");
 }
+
+/// Machine-readable bench output: one row per measured configuration, each a
+/// flat map of numeric metrics, written as `BENCH_<name>.json` so CI can
+/// archive per-commit perf trajectories next to the human-readable stdout.
+///
+///   bench::JsonSummary json("fig13", "parallel shards + batch prefetch");
+///   json.config("shards_K4_J4");
+///   json.metric("wall_s", wall);
+///   ...
+///   json.write();   // -> BENCH_fig13.json in the working directory
+class JsonSummary {
+ public:
+  JsonSummary(std::string name, std::string description)
+      : name_(std::move(name)), description_(std::move(description)) {}
+
+  /// Start a new configuration row; metric() calls attach to it.
+  void config(const std::string& config_name) {
+    rows_.push_back({config_name, {}});
+  }
+  /// Attach a metric to the current row (opens a "default" row if the bench
+  /// never called config()).
+  void metric(const std::string& key, double value) {
+    if (rows_.empty()) config("default");
+    rows_.back().metrics.emplace_back(key, value);
+  }
+
+  /// Writes BENCH_<name>.json (or an explicit path); returns success.
+  bool write(std::string path = "") const {
+    if (path.empty()) path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"" << escaped(name_) << "\",\n"
+        << "  \"description\": \"" << escaped(description_) << "\",\n"
+        << "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n  \"configs\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out << "    {\"name\": \"" << escaped(rows_[i].name) << "\"";
+      for (const auto& [key, value] : rows_[i].metrics) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.9g", value);
+        out << ", \"" << escaped(key) << "\": " << buf;
+      }
+      out << (i + 1 < rows_.size() ? "},\n" : "}\n");
+    }
+    out << "  ]\n}\n";
+    out.flush();
+    if (out) std::printf("\nJSON summary written: %s\n", path.c_str());
+    return static_cast<bool>(out);
+  }
+
+ private:
+  /// Minimal JSON string escaping (quotes, backslashes, control chars).
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  struct Row {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string name_;
+  std::string description_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace bench

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/exact_match.hpp"
+#include "core/file_stream.hpp"
 #include "core/load_balance.hpp"
 #include "seq/kmer.hpp"
 #include "seq/seqdb.hpp"
@@ -270,10 +271,31 @@ BatchResult AlignSession::align_batch(pgas::Runtime& rt,
   return run_batch(rt, span, {}, sink);
 }
 
+BatchResult AlignSession::align_batch(pgas::Runtime& rt,
+                                      std::vector<seq::SeqRecord>&& reads,
+                                      AlignmentSink& sink) {
+  if (cfg_.permute_queries) permute_queries(reads, cfg_.permute_seed);
+  return run_batch(rt, reads, {}, sink);
+}
+
 BatchResult AlignSession::align_batch_file(pgas::Runtime& rt,
                                            const std::string& reads_seqdb,
                                            AlignmentSink& sink) {
   return run_batch(rt, {}, reads_seqdb, sink);
+}
+
+FileStreamResult AlignSession::align_batch_files(
+    pgas::Runtime& rt, const std::vector<std::string>& paths,
+    AlignmentSink& sink, const FileStreamOptions& opt,
+    const std::function<void(std::size_t, const BatchResult&)>& on_batch) {
+  return detail::stream_file_batches<FileStreamResult>(
+      paths, opt,
+      [&](std::vector<seq::SeqRecord>&& records) {
+        return align_batch(rt, std::move(records), sink);
+      },
+      [&](std::size_t i, const BatchResult& batch) {
+        if (on_batch) on_batch(i, batch);
+      });
 }
 
 BatchResult AlignSession::run_batch(pgas::Runtime& rt,

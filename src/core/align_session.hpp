@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
@@ -31,6 +32,10 @@
 #include "core/stats.hpp"
 #include "pgas/runtime.hpp"
 #include "seq/fasta.hpp"
+
+namespace mera::exec {
+class ThreadPool;
+}
 
 namespace mera::core {
 
@@ -76,6 +81,38 @@ struct BatchResult {
   [[nodiscard]] double total_time_s() const { return report.total_time_s(); }
 };
 
+/// How align_batch_files() walks a stream of reads-batch files.
+struct FileStreamOptions {
+  /// Overlap batch N+1's load with batch N's align phase (double buffering
+  /// through core::BatchPrefetcher). Off = load-then-align, strictly serial
+  /// — same records, same output, no overlap; the pair is how the overlap is
+  /// measured.
+  bool prefetch = true;
+  /// Loader pool; null = a private single-thread pool for the call. One
+  /// worker is enough: at most one batch is ever in flight.
+  exec::ThreadPool* pool = nullptr;
+};
+
+/// Outcome of one align_batch_files() stream; BatchT is the per-batch
+/// result (core::BatchResult, or shard::ShardedBatchResult for the sharded
+/// session — one accounting contract for both). The per-phase report makes
+/// the overlap measurable: with prefetching, wall_s approaches the align
+/// time alone while the summed io.reads/load time hides inside it.
+template <typename BatchT>
+struct BasicFileStreamResult {
+  std::vector<BatchT> batches;  ///< one per file, in file order
+  pgas::PhaseReport report;     ///< batches' phases appended in order
+  PipelineStats stats;          ///< summed over batches
+  double wall_s = 0.0;       ///< measured real end-to-end seconds
+  double load_wall_s = 0.0;  ///< summed real load seconds (overlapped when prefetching)
+  double stall_s = 0.0;      ///< real seconds aligning sat waiting on a load
+
+  /// Simulated (modeled) serial time, for comparison against wall_s.
+  [[nodiscard]] double total_time_s() const { return report.total_time_s(); }
+};
+
+using FileStreamResult = BasicFileStreamResult<BatchResult>;
+
 class AlignSession {
  public:
   /// The reference handle is cheap (shared immutable state). The Lemma-1
@@ -89,11 +126,27 @@ class AlignSession {
   BatchResult align_batch(pgas::Runtime& rt,
                           const std::vector<seq::SeqRecord>& reads,
                           AlignmentSink& sink);
+  /// In-place variant for callers that hand the batch over (the prefetched
+  /// file stream): query permutation happens in place, no copy.
+  BatchResult align_batch(pgas::Runtime& rt, std::vector<seq::SeqRecord>&& reads,
+                          AlignmentSink& sink);
 
   /// Align one SeqDB file batch; each rank reads only its record partition.
   BatchResult align_batch_file(pgas::Runtime& rt,
                                const std::string& reads_seqdb,
                                AlignmentSink& sink);
+
+  /// Align a stream of reads-batch files (FASTQ or SeqDB) in file order,
+  /// overlapping each batch's load with the previous batch's align phase
+  /// when opt.prefetch is set. Emission into `sink` is strictly batch-
+  /// ordered and bit-identical to calling align_batch_file per file.
+  /// `on_batch(index, result)` fires as each batch completes, so callers
+  /// can report progress while the stream is still running.
+  FileStreamResult align_batch_files(
+      pgas::Runtime& rt, const std::vector<std::string>& paths,
+      AlignmentSink& sink, const FileStreamOptions& opt = {},
+      const std::function<void(std::size_t, const BatchResult&)>& on_batch =
+          {});
 
   [[nodiscard]] const SessionConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const IndexedReference& reference() const noexcept {

@@ -1,0 +1,69 @@
+#include "core/batch_prefetcher.hpp"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "seq/fastq.hpp"
+#include "seq/seqdb.hpp"
+
+namespace mera::core {
+
+std::vector<seq::SeqRecord> load_read_batch(const std::string& path) {
+  if (path.ends_with(".fastq") || path.ends_with(".fq"))
+    return seq::read_fastq(path);
+  seq::SeqDBReader db(path);
+  std::vector<seq::SeqRecord> records;
+  records.reserve(db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) records.push_back(db.read(i));
+  return records;
+}
+
+BatchPrefetcher::BatchPrefetcher(exec::ThreadPool& pool,
+                                 std::vector<std::string> paths)
+    : pool_(&pool), paths_(std::move(paths)) {
+  if (!paths_.empty()) start_load(0);
+}
+
+BatchPrefetcher::~BatchPrefetcher() {
+  if (inflight_.valid()) inflight_.wait();
+}
+
+std::optional<BatchPrefetcher::Batch> BatchPrefetcher::next() {
+  if (next_ >= paths_.size()) return std::nullopt;
+  const auto t0 = std::chrono::steady_clock::now();
+  // Advance past the in-flight slot whether it loaded or threw: a caller
+  // that catches a failed batch's error can keep calling next() and gets
+  // the remaining files, not a dead future.
+  Batch batch;
+  try {
+    batch = inflight_.get();
+  } catch (...) {
+    ++next_;
+    if (next_ < paths_.size()) start_load(next_);
+    throw;
+  }
+  batch.stall_s = detail::seconds_since(t0);
+  ++next_;
+  if (next_ < paths_.size()) start_load(next_);
+  return batch;
+}
+
+void BatchPrefetcher::start_load(std::size_t i) {
+  auto promise = std::make_shared<std::promise<Batch>>();
+  inflight_ = promise->get_future();
+  pool_->submit([promise, path = paths_[i]] {
+    try {
+      Batch batch;
+      batch.path = path;
+      const auto t0 = std::chrono::steady_clock::now();
+      batch.records = load_read_batch(path);
+      batch.load_wall_s = detail::seconds_since(t0);
+      promise->set_value(std::move(batch));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+}
+
+}  // namespace mera::core

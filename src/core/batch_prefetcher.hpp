@@ -1,0 +1,81 @@
+// Double-buffered loading for a stream of reads-batch files.
+//
+// A multi-batch screen alternates io.reads (load batch N) with align (chew on
+// batch N) — strictly serially, so the CPU idles during every load and the
+// disk idles during every align. BatchPrefetcher overlaps them: the moment
+// batch N is handed to the aligner, batch N+1 starts loading on a pool
+// worker, so a steady stream pays the load cost of only the FIRST batch on
+// the critical path. Batches are always handed out in file order — the
+// prefetcher reorders nothing, it only hides latency.
+//
+// FASTQ batches are parsed straight into memory (the in-memory aligning path
+// needs no SeqDB conversion); SeqDB batches are read record by record. Both
+// yield exactly the records the synchronous file path would have aligned.
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "seq/fasta.hpp"
+
+namespace mera::core {
+
+namespace detail {
+/// Real (wall) seconds elapsed since `t0` — the clock the overlap
+/// accounting uses everywhere (loads, stalls, end-to-end stream walls).
+[[nodiscard]] inline double seconds_since(
+    std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace detail
+
+/// Load one reads-batch file into memory: FASTQ (.fastq/.fq) is parsed
+/// directly, anything else is read as SeqDB.
+[[nodiscard]] std::vector<seq::SeqRecord> load_read_batch(
+    const std::string& path);
+
+class BatchPrefetcher {
+ public:
+  struct Batch {
+    std::string path;
+    std::vector<seq::SeqRecord> records;
+    double load_wall_s = 0.0;  ///< real seconds the load took (off-thread)
+    double stall_s = 0.0;      ///< real seconds next() blocked waiting for it
+  };
+
+  /// Starts loading paths[0] on `pool` immediately. The pool must outlive
+  /// the prefetcher; one worker is enough (loads are sequential by design —
+  /// only ONE batch is in flight, so memory is bounded by two batches: the
+  /// one aligning and the one loading).
+  BatchPrefetcher(exec::ThreadPool& pool, std::vector<std::string> paths);
+  /// Joins any in-flight load (its result is discarded).
+  ~BatchPrefetcher();
+  BatchPrefetcher(const BatchPrefetcher&) = delete;
+  BatchPrefetcher& operator=(const BatchPrefetcher&) = delete;
+
+  /// Next batch in file order: blocks until its load completes (rethrowing
+  /// any load error), kicks off the following file's load, and returns the
+  /// records. A failed batch is consumed by its throw — catch and keep
+  /// calling to get the remaining files. Empty once every path has been
+  /// handed out.
+  [[nodiscard]] std::optional<Batch> next();
+
+  [[nodiscard]] std::size_t num_batches() const noexcept {
+    return paths_.size();
+  }
+
+ private:
+  void start_load(std::size_t i);
+
+  exec::ThreadPool* pool_;
+  std::vector<std::string> paths_;
+  std::size_t next_ = 0;
+  std::future<Batch> inflight_;
+};
+
+}  // namespace mera::core

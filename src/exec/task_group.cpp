@@ -1,0 +1,73 @@
+#include "exec/task_group.hpp"
+
+#include <utility>
+
+namespace mera::exec {
+
+TaskGroup::~TaskGroup() { join_nothrow(); }
+
+void TaskGroup::run(std::function<void()> fn) {
+  std::size_t idx;
+  {
+    const std::scoped_lock lk(mu_);
+    idx = errors_.size();
+    errors_.emplace_back(nullptr);
+    ++pending_;
+  }
+  try {
+    submit_task(idx, std::move(fn));
+  } catch (...) {
+    // submit itself failed (e.g. bad_alloc building the task wrapper): the
+    // task will never run, so roll its slot back or wait() blocks forever.
+    // run() is single-forker by contract, so the slot is still the back.
+    const std::scoped_lock lk(mu_);
+    errors_.pop_back();
+    --pending_;
+    cv_.notify_all();
+    throw;
+  }
+}
+
+void TaskGroup::submit_task(std::size_t idx, std::function<void()> fn) {
+  pool_->submit([this, idx, fn = std::move(fn)] {
+    std::exception_ptr err;
+    try {
+      fn();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    // Notify under the lock: the moment a waiter sees pending_ == 0 it may
+    // destroy this group, so the notify must not touch cv_ after unlocking.
+    const std::scoped_lock lk(mu_);
+    if (err) errors_[idx] = std::move(err);
+    --pending_;
+    cv_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [this] { return pending_ == 0; });
+  std::exception_ptr first;
+  for (std::exception_ptr& e : errors_)
+    if (e) {
+      first = std::move(e);
+      break;
+    }
+  errors_.clear();
+  lk.unlock();
+  if (first) std::rethrow_exception(first);
+}
+
+std::size_t TaskGroup::forked() const {
+  const std::scoped_lock lk(mu_);
+  return errors_.size();
+}
+
+void TaskGroup::join_nothrow() {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [this] { return pending_ == 0; });
+  errors_.clear();
+}
+
+}  // namespace mera::exec

@@ -1,0 +1,60 @@
+// Fork/join on top of ThreadPool.
+//
+// A TaskGroup tracks a set of tasks submitted to a pool and lets the forking
+// thread join them all at once:
+//
+//   exec::TaskGroup group(pool);
+//   for (int s = 0; s < K; ++s) group.run([&, s] { work(s); });
+//   group.wait();   // blocks; rethrows the first (by fork order) exception
+//
+// Exception contract: a task that throws is recorded, the remaining tasks
+// still run to completion, and wait() rethrows the exception of the
+// earliest-forked failing task — deterministic no matter which task happened
+// to fail first in real time. After wait() returns (or throws), the group is
+// empty and reusable for another fork/join round.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace mera::exec {
+
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(&pool) {}
+  /// Joins outstanding tasks without rethrowing (destructors must not
+  /// throw); call wait() to observe task exceptions.
+  ~TaskGroup();
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Fork: enqueue one task on the pool. Must not be called concurrently
+  /// with wait() from another thread.
+  void run(std::function<void()> fn);
+
+  /// Join: block until every forked task finished, then rethrow the
+  /// earliest-forked task's exception, if any. Resets the group.
+  void wait();
+
+  /// Tasks forked since the last wait().
+  [[nodiscard]] std::size_t forked() const;
+
+ private:
+  void submit_task(std::size_t idx, std::function<void()> fn);
+  void join_nothrow();
+
+  ThreadPool* pool_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+  /// One slot per forked task, in fork order; null = completed cleanly.
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace mera::exec

@@ -1,0 +1,52 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mera::exec {
+
+ThreadPool::ThreadPool(int nthreads) {
+  const int n = std::max(1, nthreads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::scoped_lock lk(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+int ThreadPool::default_parallelism(int width, int nranks) noexcept {
+  const auto hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int per_runtime = std::max(1, hw) / std::max(1, nranks);
+  return std::clamp(per_runtime, 1, std::max(1, width));
+}
+
+}  // namespace mera::exec

@@ -1,0 +1,58 @@
+// A persistent worker pool for intra-process task parallelism.
+//
+// The PGAS runtime already multiplies one batch across nranks rank threads;
+// this pool is the axis ABOVE that — independent whole-runtime units of work
+// (one shard's align_batch, one file batch's load) dispatched concurrently.
+// Workers are started once and reused, so per-batch dispatch costs a queue
+// push, not a thread spawn; tasks may themselves start a pgas::Runtime (which
+// spawns and joins its own rank threads), which is exactly how the sharded
+// session runs K runtimes side by side in one process.
+//
+// Scheduling is FIFO and non-work-stealing: submitters must not block inside
+// a task on another task of the same pool (the sharded session and the batch
+// prefetcher never do — joins happen on the driving thread, outside the
+// pool).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mera::exec {
+
+class ThreadPool {
+ public:
+  /// Starts `nthreads` workers immediately (clamped to >= 1).
+  explicit ThreadPool(int nthreads);
+  /// Drains every task submitted so far, then joins the workers.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task; runs on some worker in FIFO order.
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// The sane default width for running `width` independent runtimes of
+  /// `nranks` rank threads each on this machine: min(width, hardware
+  /// concurrency / nranks), at least 1 — so the machine is never
+  /// oversubscribed beyond what one runtime already does.
+  [[nodiscard]] static int default_parallelism(int width, int nranks) noexcept;
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace mera::exec

@@ -1,42 +1,19 @@
 #include "shard/sharded_session.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <tuple>
 #include <utility>
 
+#include "core/file_stream.hpp"
 #include "core/load_balance.hpp"
-#include "seq/seqdb.hpp"
+#include "exec/task_group.hpp"
 
 namespace mera::shard {
 
 namespace {
 
-/// Internal sink: keeps every record a shard emits, per rank, in emission
-/// order, tagged with the read it belongs to. Ranks emit a read's records
-/// consecutively and reads in partition order, so each per-rank buffer is
-/// already grouped and ordered by read — reconciliation walks the buffers
-/// with one cursor per shard.
-class CollectorSink final : public core::AlignmentSink {
- public:
-  struct Entry {
-    const seq::SeqRecord* read;
-    core::AlignmentRecord rec;
-  };
-
-  explicit CollectorSink(int nranks)
-      : per_rank_(static_cast<std::size_t>(nranks)) {}
-
-  void emit(int rank, const seq::SeqRecord& read,
-            core::AlignmentRecord&& rec) override {
-    per_rank_[static_cast<std::size_t>(rank)].push_back(
-        Entry{&read, std::move(rec)});
-  }
-
-  std::vector<std::vector<Entry>>& per_rank() { return per_rank_; }
-
- private:
-  std::vector<std::vector<Entry>> per_rank_;
-};
+using core::detail::seconds_since;
 
 /// The deterministic global order of one read's reconciled candidates: best
 /// score first, then global target id, then target position; the remaining
@@ -50,6 +27,46 @@ bool better_hit(const core::AlignmentRecord& a, const core::AlignmentRecord& b) 
 
 }  // namespace
 
+/// Internal sink: keeps every record a shard emits, per rank, in emission
+/// order, tagged with the read it belongs to. Ranks emit a read's records
+/// consecutively and reads in partition order, so each per-rank buffer is
+/// already grouped and ordered by read — reconciliation walks the buffers
+/// with one cursor per shard. Each shard owns exactly one collector, so
+/// concurrent shards never share one (bit-identical output at any J).
+class ShardCollectorSink final : public core::AlignmentSink {
+ public:
+  struct Entry {
+    const seq::SeqRecord* read;
+    core::AlignmentRecord rec;
+  };
+
+  void emit(int rank, const seq::SeqRecord& read,
+            core::AlignmentRecord&& rec) override {
+    per_rank_[static_cast<std::size_t>(rank)].push_back(
+        Entry{&read, std::move(rec)});
+  }
+
+  /// Size for `nranks` and empty the buffers, keeping their capacity — a
+  /// session reuses its collectors across batches.
+  void reset(int nranks) {
+    per_rank_.resize(static_cast<std::size_t>(nranks));
+    for (auto& entries : per_rank_) entries.clear();
+  }
+
+  std::vector<std::vector<Entry>>& per_rank() { return per_rank_; }
+
+ private:
+  std::vector<std::vector<Entry>> per_rank_;
+};
+
+/// Per-batch working set, reused batch to batch so the reconcile hot loop
+/// stops paying K*nranks buffer allocations plus a merge vector per read.
+struct ShardedAlignSession::ReconcileScratch {
+  std::vector<ShardCollectorSink> collected;  ///< one per shard
+  std::vector<std::size_t> cursor;            ///< one per shard
+  std::vector<core::AlignmentRecord> merged;  ///< one read's candidates
+};
+
 double ShardedBatchResult::time_parallel_s() const {
   double t = 0.0;
   for (const core::BatchResult& b : per_shard)
@@ -59,22 +76,53 @@ double ShardedBatchResult::time_parallel_s() const {
 
 ShardedAlignSession::ShardedAlignSession(ShardedReference ref,
                                          core::SessionConfig cfg)
-    : ref_(std::move(ref)), cfg_(std::move(cfg)) {
-  core::SessionConfig per_shard = cfg_;
+    : ShardedAlignSession(std::move(ref),
+                          ShardedSessionConfig{std::move(cfg), 0}) {}
+
+ShardedAlignSession::ShardedAlignSession(ShardedReference ref,
+                                         ShardedSessionConfig cfg)
+    : ref_(std::move(ref)),
+      cfg_(std::move(cfg)),
+      scratch_(std::make_unique<ReconcileScratch>()) {
+  core::SessionConfig per_shard = cfg_.session;
   per_shard.permute_queries = false;  // applied once, at this level
   sessions_.reserve(static_cast<std::size_t>(ref_.num_shards()));
   for (int s = 0; s < ref_.num_shards(); ++s)
     sessions_.push_back(
         std::make_unique<core::AlignSession>(ref_.shard(s), per_shard));
+  scratch_->collected.resize(static_cast<std::size_t>(ref_.num_shards()));
+  scratch_->cursor.resize(static_cast<std::size_t>(ref_.num_shards()));
+}
+
+ShardedAlignSession::~ShardedAlignSession() = default;
+ShardedAlignSession::ShardedAlignSession(ShardedAlignSession&&) noexcept =
+    default;
+ShardedAlignSession& ShardedAlignSession::operator=(
+    ShardedAlignSession&&) noexcept = default;
+
+int ShardedAlignSession::effective_parallelism(int nranks) const {
+  const int k = ref_.num_shards();
+  const int j = cfg_.shard_parallelism > 0
+                    ? cfg_.shard_parallelism
+                    : exec::ThreadPool::default_parallelism(k, nranks);
+  return std::clamp(j, 1, k);
 }
 
 ShardedBatchResult ShardedAlignSession::align_batch(
     pgas::Runtime& rt, const std::vector<seq::SeqRecord>& reads,
     core::AlignmentSink& sink) {
-  if (!cfg_.permute_queries) return run_batch(rt, reads, sink);
+  if (!cfg_.session.permute_queries) return run_batch(rt, reads, sink);
   std::vector<seq::SeqRecord> permuted = reads;
-  core::permute_queries(permuted, cfg_.permute_seed);
+  core::permute_queries(permuted, cfg_.session.permute_seed);
   return run_batch(rt, permuted, sink);
+}
+
+ShardedBatchResult ShardedAlignSession::align_batch(
+    pgas::Runtime& rt, std::vector<seq::SeqRecord>&& reads,
+    core::AlignmentSink& sink) {
+  if (cfg_.session.permute_queries)
+    core::permute_queries(reads, cfg_.session.permute_seed);
+  return run_batch(rt, reads, sink);
 }
 
 ShardedBatchResult ShardedAlignSession::align_batch_file(
@@ -83,32 +131,70 @@ ShardedBatchResult ShardedAlignSession::align_batch_file(
   // One read of the file for all K shards. Permuting the loaded records with
   // the session seed is the same Fisher-Yates the single-reference file path
   // applies to record indices, so rank assignments match it exactly.
-  seq::SeqDBReader db(reads_seqdb);
-  std::vector<seq::SeqRecord> reads;
-  reads.reserve(db.size());
-  for (std::size_t i = 0; i < db.size(); ++i) reads.push_back(db.read(i));
-  if (cfg_.permute_queries) core::permute_queries(reads, cfg_.permute_seed);
-  return run_batch(rt, reads, sink);
+  return align_batch(rt, core::load_read_batch(reads_seqdb), sink);
+}
+
+ShardedFileStreamResult ShardedAlignSession::align_batch_files(
+    pgas::Runtime& rt, const std::vector<std::string>& paths,
+    core::AlignmentSink& sink, const core::FileStreamOptions& opt,
+    const std::function<void(std::size_t, const ShardedBatchResult&)>&
+        on_batch) {
+  return core::detail::stream_file_batches<ShardedFileStreamResult>(
+      paths, opt,
+      [&](std::vector<seq::SeqRecord>&& records) {
+        return align_batch(rt, std::move(records), sink);
+      },
+      [&](std::size_t i, const ShardedBatchResult& batch) {
+        if (on_batch) on_batch(i, batch);
+      });
 }
 
 ShardedBatchResult ShardedAlignSession::run_batch(
     pgas::Runtime& rt, const std::vector<seq::SeqRecord>& reads,
     core::AlignmentSink& sink) {
+  const auto wall0 = std::chrono::steady_clock::now();
   const int nshards = ref_.num_shards();
   const int nranks = rt.nranks();
+  const int J = effective_parallelism(nranks);
+
+  std::vector<ShardCollectorSink>& collected = scratch_->collected;
+  for (ShardCollectorSink& coll : collected) coll.reset(nranks);
 
   // ---- 1+2: every shard aligns the full batch; ids go global --------------
+  // Each shard writes into its own collector and the per-shard results land
+  // in fixed slots, so concurrent and serial dispatch produce identical
+  // state by the time reconciliation starts.
   ShardedBatchResult res;
-  res.per_shard.reserve(static_cast<std::size_t>(nshards));
-  std::vector<CollectorSink> collected;
-  collected.reserve(static_cast<std::size_t>(nshards));
-  for (int s = 0; s < nshards; ++s) {
-    CollectorSink& coll = collected.emplace_back(nranks);
-    res.per_shard.push_back(sessions_[static_cast<std::size_t>(s)]->align_batch(
-        rt, reads, coll));
+  res.shard_parallelism = J;
+  res.per_shard.resize(static_cast<std::size_t>(nshards));
+  auto run_shard = [&](int s, pgas::Runtime& shard_rt) {
+    const auto ss = static_cast<std::size_t>(s);
+    ShardCollectorSink& coll = collected[ss];
+    res.per_shard[ss] = sessions_[ss]->align_batch(shard_rt, reads, coll);
     for (auto& rank_entries : coll.per_rank())
-      for (CollectorSink::Entry& e : rank_entries)
+      for (ShardCollectorSink::Entry& e : rank_entries)
         e.rec.target_id = ref_.to_global(s, e.rec.target_id);
+  };
+  if (J > 1) {
+    // Concurrent runtimes must not share barriers or phase accounting, so
+    // every shard gets a runtime of its own, cloned from the caller's
+    // topology and cost model. Any shard failure (e.g. topology mismatch)
+    // propagates after all shards settle — earliest shard wins, like the
+    // serial loop.
+    if (!pool_ || pool_->size() < J)
+      pool_ = std::make_unique<exec::ThreadPool>(J);
+    std::vector<std::unique_ptr<pgas::Runtime>> runtimes(
+        static_cast<std::size_t>(nshards));
+    exec::TaskGroup group(*pool_);
+    for (int s = 0; s < nshards; ++s) {
+      auto& shard_rt = runtimes[static_cast<std::size_t>(s)];
+      shard_rt =
+          std::make_unique<pgas::Runtime>(rt.topo(), rt.cost_model());
+      group.run([&run_shard, &shard_rt, s] { run_shard(s, *shard_rt); });
+    }
+    group.wait();
+  } else {
+    for (int s = 0; s < nshards; ++s) run_shard(s, rt);
   }
 
   // ---- aggregate stats + report -------------------------------------------
@@ -122,8 +208,8 @@ ShardedBatchResult ShardedAlignSession::run_batch(
   res.stats.reads_aligned = 0;
 
   // ---- 3+4: reconcile per (rank, read) and emit ---------------------------
-  std::vector<std::size_t> cursor(static_cast<std::size_t>(nshards), 0);
-  std::vector<core::AlignmentRecord> merged;
+  std::vector<std::size_t>& cursor = scratch_->cursor;
+  std::vector<core::AlignmentRecord>& merged = scratch_->merged;
   const std::size_t n = reads.size();
   for (int r = 0; r < nranks; ++r) {
     const auto rr = static_cast<std::size_t>(r);
@@ -140,13 +226,16 @@ ShardedBatchResult ShardedAlignSession::run_batch(
           merged.push_back(std::move(entries[c++].rec));
       }
       if (!merged.empty()) ++res.stats.reads_aligned;
-      std::sort(merged.begin(), merged.end(), better_hit);
+      // One shard has nothing to merge: its emission order (grouped per
+      // rank, per read) is already the stream — skip the per-read reorder.
+      if (nshards > 1) std::sort(merged.begin(), merged.end(), better_hit);
       for (core::AlignmentRecord& rec : merged)
         sink.emit(r, read, std::move(rec));
     }
   }
   sink.batch_end();
   ++batches_done_;
+  res.wall_s = seconds_since(wall0);
   return res;
 }
 

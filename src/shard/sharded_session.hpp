@@ -5,6 +5,9 @@
 //
 //   1. every query batch is streamed through every shard's session (each
 //      shard sees the full batch — screening is all-vs-all across shards);
+//      the K per-shard align_batch calls are independent, so they can run
+//      CONCURRENTLY on an exec::ThreadPool (shard_parallelism below), each
+//      on its own pgas::Runtime — K runtimes side by side in one process;
 //   2. per-shard records are collected, their shard-local target ids are
 //      rewritten to global ids through the ShardedReference mapping;
 //   3. per (rank, read), the candidates from all shards are reconciled into
@@ -14,6 +17,14 @@
 //   4. the reconciled stream is emitted into the caller's AlignmentSink in
 //      the usual rank-major, read-order sequence, followed by one
 //      batch_end() — sinks cannot tell a sharded session from a plain one.
+//
+// Because each shard writes into its own private collector and step 3
+// imposes a total order, the emitted stream is bit-identical at EVERY
+// shard_parallelism — the executor changes wall-clock time, never bytes
+// (tests/test_async.cpp asserts this for K in {1,2,4} and all SW kernels).
+// Single-shard note: with K == 1 there is nothing to merge, so the per-read
+// reorder is skipped and records flow through in the shard's own discovery
+// order — same records, same rank partition, just not re-sorted.
 //
 // Equivalence contract: with the per-shard search exhaustive — exact-match
 // fast path off and max_hits_per_seed large enough that no lookup truncates
@@ -31,10 +42,12 @@
 // (reads_processed, reads_aligned) count each read ONCE, computed during
 // reconciliation. Phase reports are appended shard by shard; total_time_s()
 // is the serial composition, time_parallel_s() the per-runtime view (shards
-// on K machines run concurrently: the batch costs the slowest shard).
+// on K machines run concurrently: the batch costs the slowest shard), and
+// wall_s the measured reality of THIS process's executor.
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,7 +55,24 @@
 #include "core/align_session.hpp"
 #include "shard/sharded_reference.hpp"
 
+namespace mera::exec {
+class ThreadPool;
+}
+
 namespace mera::shard {
+
+/// Session configuration plus the executor axis that only exists when there
+/// are K independent shards to drive.
+struct ShardedSessionConfig {
+  core::SessionConfig session{};
+  /// Shards aligned concurrently per batch: 1 = serial (one shard at a
+  /// time on the caller's runtime), J >= 2 = that many pool workers, each
+  /// running one shard's align_batch on its own runtime, 0 = auto —
+  /// min(K, hardware_concurrency / nranks), so shard parallelism never
+  /// oversubscribes beyond what one runtime's rank threads already use.
+  /// Output is bit-identical at every setting.
+  int shard_parallelism = 0;
+};
 
 /// Outcome of one sharded align_batch() call.
 struct ShardedBatchResult {
@@ -53,12 +83,22 @@ struct ShardedBatchResult {
   core::PipelineStats stats;
   /// Each shard's own BatchResult (per-shard stats, cache deltas, report).
   std::vector<core::BatchResult> per_shard;
+  /// Shards that actually ran concurrently for this batch (the resolved J).
+  int shard_parallelism = 1;
+  /// Measured real seconds of the whole batch (dispatch + reconcile) — the
+  /// number the executor is supposed to shrink; compare against
+  /// total_time_s() (serial model) and time_parallel_s() (ideal model).
+  double wall_s = 0.0;
 
   /// Serial composition (shards streamed one after another on this machine).
   [[nodiscard]] double total_time_s() const { return report.total_time_s(); }
   /// Per-runtime composition (each shard on its own machine): slowest shard.
   [[nodiscard]] double time_parallel_s() const;
 };
+
+/// Outcome of one sharded align_batch_files() stream: the same accounting
+/// contract as the plain session's, per sharded batch.
+using ShardedFileStreamResult = core::BasicFileStreamResult<ShardedBatchResult>;
 
 class ShardedAlignSession {
  public:
@@ -68,11 +108,20 @@ class ShardedAlignSession {
   /// order, which keeps every shard's rank partition aligned.
   explicit ShardedAlignSession(ShardedReference ref,
                                core::SessionConfig cfg = {});
+  ShardedAlignSession(ShardedReference ref, ShardedSessionConfig cfg);
+  ~ShardedAlignSession();
+  ShardedAlignSession(ShardedAlignSession&&) noexcept;
+  ShardedAlignSession& operator=(ShardedAlignSession&&) noexcept;
 
   /// Align one in-memory batch against every shard; callable any number of
   /// times. Each shard session's software caches persist across batches.
   ShardedBatchResult align_batch(pgas::Runtime& rt,
                                  const std::vector<seq::SeqRecord>& reads,
+                                 core::AlignmentSink& sink);
+  /// In-place variant for callers that hand the batch over (the prefetched
+  /// file stream): the one-shot permutation happens in place, no copy.
+  ShardedBatchResult align_batch(pgas::Runtime& rt,
+                                 std::vector<seq::SeqRecord>&& reads,
                                  core::AlignmentSink& sink);
 
   /// Align one SeqDB file batch. The file is read once (not once per shard)
@@ -81,9 +130,28 @@ class ShardedAlignSession {
                                       const std::string& reads_seqdb,
                                       core::AlignmentSink& sink);
 
+  /// Align a stream of reads-batch files (FASTQ or SeqDB) in file order,
+  /// overlapping each batch's load with the previous batch's align work
+  /// when opt.prefetch is set (double buffering). Emission is strictly
+  /// batch-ordered and bit-identical to calling align_batch_file per file.
+  /// `on_batch(index, result)` fires as each batch completes, so callers
+  /// can report progress while the stream is still running.
+  ShardedFileStreamResult align_batch_files(
+      pgas::Runtime& rt, const std::vector<std::string>& paths,
+      core::AlignmentSink& sink, const core::FileStreamOptions& opt = {},
+      const std::function<void(std::size_t, const ShardedBatchResult&)>&
+          on_batch = {});
+
   [[nodiscard]] const core::SessionConfig& config() const noexcept {
+    return cfg_.session;
+  }
+  [[nodiscard]] const ShardedSessionConfig& sharded_config() const noexcept {
     return cfg_;
   }
+  /// The J that align_batch on an `nranks`-rank runtime will use: the
+  /// configured shard_parallelism resolved (0 = auto) and clamped to
+  /// [1, num_shards()].
+  [[nodiscard]] int effective_parallelism(int nranks) const;
   [[nodiscard]] const ShardedReference& reference() const noexcept {
     return ref_;
   }
@@ -101,11 +169,18 @@ class ShardedAlignSession {
                                core::AlignmentSink& sink);
 
   ShardedReference ref_;
-  core::SessionConfig cfg_;
+  ShardedSessionConfig cfg_;
   /// One session per shard (AlignSession owns mutex-guarded caches, so the
   /// sessions live behind stable pointers). Their configs disable
   /// permutation — it already happened at this level.
   std::vector<std::unique_ptr<core::AlignSession>> sessions_;
+  /// Persistent shard executor, created lazily on the first batch that
+  /// resolves to J >= 2 and reused across batches.
+  std::unique_ptr<exec::ThreadPool> pool_;
+  /// Per-batch collection + reconcile buffers, reused across batches so the
+  /// hot loop stops reallocating (defined in the .cpp).
+  struct ReconcileScratch;
+  std::unique_ptr<ReconcileScratch> scratch_;
   std::size_t batches_done_ = 0;
 };
 

@@ -159,3 +159,71 @@ if(NOT err MATCHES "sharded index built: 3 shards")
 endif()
 check_sam_against(${WORKDIR}/out_sharded.sam ${WORKDIR}/out_single_noexact.sam
                   "sharded-vs-single")
+
+# --- 5. --shard-parallel: explicit executor width, same bytes ----------------
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --out ${WORKDIR}/out_sharded_j2.sam
+    --k 31 --ranks 4 --ppn 2 --no-permute --no-exact --shards 3
+    --shard-parallel 2
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--shard-parallel 2 run exited with ${rc}\nstderr:\n${err}")
+endif()
+if(NOT err MATCHES "shard executor: 2 of 3 shards in parallel")
+  message(FATAL_ERROR "--shard-parallel 2 did not report its executor width:\n${err}")
+endif()
+check_sam_against(${WORKDIR}/out_sharded_j2.sam ${WORKDIR}/out_single_noexact.sam
+                  "shard-parallel-vs-single")
+
+# --shard-parallel validation: 0, negative and non-numeric values are usage
+# errors (exit 2 + usage), and the flag is rejected outside sharded runs.
+foreach(bad 0 -3 abc)
+  execute_process(
+    COMMAND ${CLI}
+      --targets ${WORKDIR}/contigs.fa
+      --reads ${WORKDIR}/reads.fastq
+      --k 31 --ranks 4 --ppn 2 --shards 3 --shard-parallel ${bad}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "--shard-parallel ${bad} exited ${rc}, expected usage error 2")
+  endif()
+  if(NOT err MATCHES "shard-parallel" OR NOT err MATCHES "meraligner --targets")
+    message(FATAL_ERROR "--shard-parallel ${bad} did not print the usage message:\n${err}")
+  endif()
+endforeach()
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --k 31 --ranks 4 --ppn 2 --shard-parallel 2
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2 OR NOT err MATCHES "requires a sharded reference")
+  message(FATAL_ERROR "--shard-parallel without shards was not rejected (rc=${rc}):\n${err}")
+endif()
+
+# --- 6. --no-prefetch matches the default double-buffered stream -------------
+# (the scenario-2 multi-batch run above already went through the prefetcher;
+# the strictly serial loop must produce the same golden bytes)
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads_a.fastq
+    --reads ${WORKDIR}/reads_b.fastq
+    --out ${WORKDIR}/out_multi_noprefetch.sam
+    --k 31 --ranks 4 --ppn 2 --no-permute --no-prefetch
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--no-prefetch multi-batch run exited with ${rc}\nstderr:\n${err}")
+endif()
+check_sam(${WORKDIR}/out_multi_noprefetch.sam "multi-batch --no-prefetch")

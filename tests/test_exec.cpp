@@ -1,0 +1,172 @@
+// The executor subsystem: exec::ThreadPool (persistent workers, FIFO queue,
+// drain-on-destroy) and exec::TaskGroup (fork/join with deterministic
+// exception propagation). These primitives carry the parallel-shard and
+// batch-prefetch paths, so their edge semantics — shutdown, exceptions,
+// reuse — get pinned here.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/task_group.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace {
+
+using mera::exec::TaskGroup;
+using mera::exec::ThreadPool;
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTaskAcrossWorkers) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> ran{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 64; ++i)
+    group.run([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  group.wait();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, ClampsWorkerCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  ThreadPool neg(-3);
+  EXPECT_EQ(neg.size(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsEverySubmittedTask) {
+  // Shutdown must complete queued work, not drop it: queue far more tasks
+  // than workers, destroy the pool immediately, and expect every task ran.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 128; ++i)
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(ran.load(), 128);
+}
+
+TEST(ThreadPool, TasksActuallyRunOffTheSubmittingThread) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  TaskGroup group(pool);
+  for (int i = 0; i < 32; ++i)
+    group.run([&] {
+      const std::scoped_lock lk(mu);
+      seen.insert(std::this_thread::get_id());
+    });
+  group.wait();
+  EXPECT_EQ(seen.count(std::this_thread::get_id()), 0u);
+  EXPECT_GE(seen.size(), 1u);
+  EXPECT_LE(seen.size(), 2u);
+}
+
+TEST(ThreadPool, DefaultParallelismRespectsWidthRanksAndHardware) {
+  const auto hw =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  // Never wider than the work, never below 1, never beyond hw/nranks.
+  EXPECT_EQ(ThreadPool::default_parallelism(1, 1), 1);
+  EXPECT_LE(ThreadPool::default_parallelism(8, 1), std::max(1, hw));
+  EXPECT_EQ(ThreadPool::default_parallelism(8, 2 * hw), 1);  // oversubscribed
+  EXPECT_GE(ThreadPool::default_parallelism(4, 4), 1);
+  // Degenerate inputs are clamped, not UB.
+  EXPECT_EQ(ThreadPool::default_parallelism(0, 0), 1);
+  EXPECT_EQ(ThreadPool::default_parallelism(-2, -2), 1);
+}
+
+// ---------------------------------------------------------------------------
+// TaskGroup
+// ---------------------------------------------------------------------------
+
+TEST(TaskGroup, WaitJoinsAllForkedTasks) {
+  ThreadPool pool(3);
+  TaskGroup group(pool);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i)
+    group.run([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  EXPECT_EQ(group.forked(), 10u);
+  group.wait();
+  EXPECT_EQ(done.load(), 10);  // wait() returned only after every task
+  EXPECT_EQ(group.forked(), 0u);
+}
+
+TEST(TaskGroup, RethrowsTheEarliestForkedException) {
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  // Several tasks fail in scrambled real-time order; the EARLIEST-forked
+  // failure must win deterministically, independent of scheduling.
+  group.run([] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+  group.run([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    throw std::runtime_error("fork-1");
+  });
+  group.run([] { throw std::logic_error("fork-2"); });  // fails first in time
+  try {
+    group.wait();
+    FAIL() << "wait() did not rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "fork-1");
+  }
+}
+
+TEST(TaskGroup, SurvivingTasksStillRunWhenOneThrows) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> ran{0};
+  group.run([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 8; ++i) group.run([&ran] { ran.fetch_add(1); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);  // the failure cancelled nothing
+}
+
+TEST(TaskGroup, IsReusableAfterWaitIncludingAfterAnException) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.run([] { throw std::runtime_error("round 1"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) group.run([&ran] { ran.fetch_add(1); });
+  group.wait();  // the old exception is gone; a clean round stays clean
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(TaskGroup, DestructorJoinsWithoutRethrowing) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  {
+    TaskGroup group(pool);
+    group.run([&ran] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ran.fetch_add(1);
+    });
+    group.run([] { throw std::runtime_error("unobserved"); });
+    // No wait(): destruction must join and swallow, not terminate.
+  }
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(TaskGroup, ManyMoreTasksThanWorkersAllComplete) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) group.run([&sum, i] { sum.fetch_add(i); });
+  group.wait();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+}  // namespace

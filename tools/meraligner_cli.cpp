@@ -7,7 +7,8 @@
 //              [--fragment-len 1024] [--sw full|banded|striped] [--no-exact]
 //              [--no-seed-cache] [--no-target-cache] [--no-aggregation]
 //              [--no-permute] [--stats]
-//              [--shards K] [--shard-by cost|bases]
+//              [--shards K] [--shard-by cost|bases] [--shard-parallel J]
+//              [--no-prefetch]
 //
 // The distributed seed index is built ONCE from --targets; every --reads
 // batch is then streamed against it through one AlignSession, so batch N>1
@@ -20,10 +21,14 @@
 // FASTA. Batches then stream through a ShardedAlignSession that reconciles
 // per-shard hits into one SAM with global target ids — the "GenBank-scale"
 // screening layout where no single runtime holds the whole index.
+// --shard-parallel J drives J shards concurrently per batch (default: auto,
+// min(K, hardware threads / ranks)); output is bit-identical at every J.
 //
-// FASTQ inputs are converted to a temporary SeqDB next to the input (the
-// paper's one-time lossless preprocessing) so every rank can read its own
-// byte range.
+// Batch streaming is double-buffered by default: while batch N aligns,
+// batch N+1 loads on a background worker (FASTQ parsed straight into
+// memory). --no-prefetch restores the strictly serial load-then-align loop,
+// converting FASTQ to a temporary SeqDB next to the input (the paper's
+// one-time lossless preprocessing) so every rank reads its own byte range.
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -49,13 +54,18 @@ constexpr const char* kUsage =
     "           [--fragment-len 1024] [--sw full|banded|striped]\n"
     "           [--no-exact] [--no-seed-cache] [--no-target-cache]\n"
     "           [--no-aggregation] [--no-permute] [--stats]\n"
-    "           [--shards K] [--shard-by cost|bases]\n"
+    "           [--shards K] [--shard-by cost|bases] [--shard-parallel J]\n"
+    "           [--no-prefetch]\n"
     "\n"
     "The index over --targets is built once; each --reads batch is aligned\n"
     "against it in order, streaming SAM into --out (one header, all batches).\n"
+    "While a batch aligns, the next one loads in the background\n"
+    "(--no-prefetch for the strictly serial loop).\n"
     "--shards K splits one target collection into K balanced index shards;\n"
     "repeating --targets makes one shard per FASTA. Either way the batches\n"
-    "stream through every shard and come out as one reconciled SAM.";
+    "stream through every shard and come out as one reconciled SAM.\n"
+    "--shard-parallel J aligns J shards concurrently per batch (default:\n"
+    "auto = min(K, hardware threads / ranks)); same bytes at every J.";
 
 mera::align::SwKernel parse_kernel(const std::string& name) {
   using mera::align::SwKernel;
@@ -110,6 +120,13 @@ void print_batch_line(std::size_t b, std::size_t nbatches,
                static_cast<unsigned long long>(s.alignments_reported), time_s);
 }
 
+void print_prefetch_line(double wall_s, double load_wall_s, double stall_s) {
+  std::fprintf(stderr,
+               "[meraligner] prefetch: %.3f real s end-to-end, %.3f s of "
+               "batch loading overlapped with aligning (%.3f s stalled)\n",
+               wall_s, load_wall_s, stall_s);
+}
+
 void print_total_line(const mera::core::PipelineStats& total, double index_s,
                       double align_s) {
   std::fprintf(stderr,
@@ -136,7 +153,8 @@ int main(int argc, char** argv) {
     args.check_known({"targets", "reads", "out", "k", "ranks", "ppn", "S",
                       "max-hits", "fragment-len", "sw", "no-exact",
                       "no-seed-cache", "no-target-cache", "no-aggregation",
-                      "no-permute", "stats", "shards", "shard-by", "help"});
+                      "no-permute", "stats", "shards", "shard-by",
+                      "shard-parallel", "no-prefetch", "help"});
     const std::vector<std::string> target_files = args.get_all("targets");
     if (target_files.empty())
       throw tools::UsageError("missing required flag --targets");
@@ -183,6 +201,22 @@ int main(int argc, char** argv) {
       throw tools::UsageError(
           "--shard-by requires --shards K (K >= 2) with a single --targets "
           "collection");
+    // --shard-parallel sizes the shard executor; without shards it would be
+    // a silent no-op. 0/negative (and non-numeric, via get_int) are errors —
+    // "no parallelism" is spelled --shard-parallel 1.
+    int shard_parallel = 0;  // 0 = auto: min(K, hardware threads / ranks)
+    if (args.has("shard-parallel")) {
+      if (!sharded)
+        throw tools::UsageError(
+            "--shard-parallel requires a sharded reference (--shards K or "
+            "repeated --targets)");
+      const long j = args.get_int("shard-parallel", 0);
+      if (j < 1)
+        throw tools::UsageError("--shard-parallel must be >= 1, got " +
+                                args.get("shard-parallel"));
+      shard_parallel = static_cast<int>(j);
+    }
+    const bool prefetch = !args.has("no-prefetch");
 
     if (!sharded) {
       // ---- single-index path ---------------------------------------------
@@ -205,9 +239,7 @@ int main(int argc, char** argv) {
 
       core::PipelineStats total;
       double align_time_s = 0.0;
-      for (std::size_t b = 0; b < batches.size(); ++b) {
-        const std::string db = ensure_seqdb(batches[b]);
-        const auto res = session.align_batch_file(rt, db, sink);
+      auto account_batch = [&](std::size_t b, const core::BatchResult& res) {
         align_time_s += res.total_time_s();
         total += res.stats;
         print_batch_line(b, batches.size(), batches[b], res.stats,
@@ -215,6 +247,18 @@ int main(int argc, char** argv) {
         if (args.has("stats")) {
           res.report.print(std::cerr);
           res.stats.print(std::cerr);
+        }
+      };
+      if (prefetch) {
+        // Double-buffered stream: batch N+1 loads while batch N aligns;
+        // per-batch lines print live as each batch completes.
+        const auto stream =
+            session.align_batch_files(rt, batches, sink, {}, account_batch);
+        print_prefetch_line(stream.wall_s, stream.load_wall_s, stream.stall_s);
+      } else {
+        for (std::size_t b = 0; b < batches.size(); ++b) {
+          const std::string db = ensure_seqdb(batches[b]);
+          account_batch(b, session.align_batch_file(rt, db, sink));
         }
       }
       print_total_line(total, ref.build_report().total_time_s(), align_time_s);
@@ -254,7 +298,14 @@ int main(int argc, char** argv) {
                    ref->shard(s).build_report().total_time_s());
     if (args.has("stats")) ref->build_report().print(std::cerr);
 
-    shard::ShardedAlignSession session(*ref, scfg);
+    shard::ShardedSessionConfig sscfg{scfg, shard_parallel};
+    shard::ShardedAlignSession session(*ref, sscfg);
+    std::fprintf(stderr,
+                 "[meraligner] shard executor: %d of %d shards in parallel "
+                 "per batch (%s)\n",
+                 session.effective_parallelism(rt.nranks()),
+                 session.num_shards(),
+                 shard_parallel > 0 ? "--shard-parallel" : "auto");
     std::optional<core::SamFileSink> sam;
     core::CountingSink counter;
     if (!out.empty()) sam.emplace(out, ref->sam_targets(), rt.nranks(), pg);
@@ -264,9 +315,8 @@ int main(int argc, char** argv) {
 
     core::PipelineStats total;
     double align_serial_s = 0.0, align_parallel_s = 0.0;
-    for (std::size_t b = 0; b < batches.size(); ++b) {
-      const std::string db = ensure_seqdb(batches[b]);
-      const auto res = session.align_batch_file(rt, db, sink);
+    auto account_batch = [&](std::size_t b,
+                             const shard::ShardedBatchResult& res) {
       align_serial_s += res.total_time_s();
       align_parallel_s += res.time_parallel_s();
       total += res.stats;
@@ -275,6 +325,16 @@ int main(int argc, char** argv) {
       if (args.has("stats")) {
         res.report.print(std::cerr);
         res.stats.print(std::cerr);
+      }
+    };
+    if (prefetch) {
+      const auto stream =
+          session.align_batch_files(rt, batches, sink, {}, account_batch);
+      print_prefetch_line(stream.wall_s, stream.load_wall_s, stream.stall_s);
+    } else {
+      for (std::size_t b = 0; b < batches.size(); ++b) {
+        const std::string db = ensure_seqdb(batches[b]);
+        account_batch(b, session.align_batch_file(rt, db, sink));
       }
     }
     print_total_line(total, ref->build_time_serial_s(), align_serial_s);
