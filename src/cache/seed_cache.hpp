@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -31,18 +32,23 @@ struct CacheCounters {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  /// Inserts refused by the eviction-aware admission policy: the candidate
+  /// was colder than everything the cache would have had to evict for it.
+  std::uint64_t admission_rejects = 0;
   [[nodiscard]] double hit_rate() const noexcept {
     const auto total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
   }
 
-  /// Counters are cumulative over a cache's lifetime; sessions subtract a
-  /// batch-start snapshot to report per-batch activity.
+  /// Counters are cumulative over a cache's lifetime — including history
+  /// restored by a snapshot load; sessions subtract a batch-start (or
+  /// post-load) snapshot to report per-batch activity.
   CacheCounters& operator-=(const CacheCounters& o) noexcept {
     hits -= o.hits;
     misses -= o.misses;
     insertions -= o.insertions;
     evictions -= o.evictions;
+    admission_rejects -= o.admission_rejects;
     return *this;
   }
   friend CacheCounters operator-(CacheCounters a,
@@ -50,6 +56,7 @@ struct CacheCounters {
     a -= b;
     return a;
   }
+  friend bool operator==(const CacheCounters&, const CacheCounters&) = default;
 };
 
 class SeedIndexCache {
@@ -57,6 +64,13 @@ class SeedIndexCache {
   struct Options {
     /// Max cached seeds per node (the paper dedicates 16 GB/node; scaled).
     std::size_t capacity_per_node = 1u << 18;
+    /// Eviction-aware admission (multi-tenant batch streams): a full cache
+    /// admits a new entry only by evicting one with no recorded hits. The
+    /// clock hand probes a few slots, halving each probed entry's hit count
+    /// (so nothing is protected forever); if every probed slot is still
+    /// warmer than the hitless newcomer, the insert is refused instead
+    /// (counters().admission_rejects). Off = plain clock overwrite.
+    bool eviction_aware_admission = false;
   };
 
   SeedIndexCache(const pgas::Topology& topo, Options opt);
@@ -71,14 +85,36 @@ class SeedIndexCache {
               const std::vector<dht::SeedHit>& hits, std::size_t total);
 
   [[nodiscard]] CacheCounters counters() const;  ///< summed over nodes
+  [[nodiscard]] std::size_t entries() const;     ///< summed over nodes
+  [[nodiscard]] std::size_t capacity_per_node() const noexcept {
+    return capacity_;
+  }
+
+  // --- snapshot persistence (cache_snapshot.hpp wraps these in a versioned,
+  // checksummed, fingerprinted file format) --------------------------------
+  /// Serialize every node shard — entries in clock-ring order with their
+  /// per-entry hit counts, plus cursor and cumulative counters — so load()
+  /// reproduces this cache bit-for-bit (same future hits, same evictions).
+  /// Takes each shard's lock in turn; safe concurrently with lookups and
+  /// inserts (the snapshot is then per-shard consistent).
+  void save(std::ostream& os) const;
+  /// Replace this cache's contents with a saved snapshot. The snapshot's
+  /// node count must match (throws CacheSnapshotError otherwise). When the
+  /// snapshot holds more entries than capacity_per_node, the warmest ones
+  /// win: entries are admitted by (persisted hits desc, most recently
+  /// inserted first) until full and the rest are counted as
+  /// admission_rejects — the eviction-aware admission policy applied at
+  /// load time. Restored counters are cumulative across processes.
+  void load(std::istream& is);
 
  private:
   struct Value {
     std::vector<dht::SeedHit> hits;
     std::uint32_t total = 0;
+    std::uint32_t use_count = 0;  ///< lookup hits on this entry (admission)
   };
   struct Shard {
-    std::mutex mu;
+    mutable std::mutex mu;
     std::unordered_map<seq::Kmer, Value, KmerHasher> map;
     std::vector<seq::Kmer> ring;  ///< insertion ring for clock eviction
     std::size_t cursor = 0;
@@ -86,6 +122,7 @@ class SeedIndexCache {
   };
 
   std::size_t capacity_;
+  bool admission_;
   std::vector<Shard> shards_;  // one per node
 };
 

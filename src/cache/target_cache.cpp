@@ -1,9 +1,22 @@
 #include "cache/target_cache.hpp"
 
+#include <algorithm>
+#include <numeric>
+
+#include "cache/cache_snapshot.hpp"
+
 namespace mera::cache {
+
+namespace {
+
+/// Second-chance probes per admission attempt (see Options).
+constexpr std::size_t kAdmissionProbes = 8;
+
+}  // namespace
 
 TargetCache::TargetCache(const pgas::Topology& topo, Options opt)
     : capacity_(opt.capacity_bytes_per_node),
+      admission_(opt.eviction_aware_admission),
       shards_(static_cast<std::size_t>(topo.nnodes())) {}
 
 bool TargetCache::contains(int node, std::uint32_t gid) {
@@ -15,6 +28,7 @@ bool TargetCache::contains(int node, std::uint32_t gid) {
     return false;
   }
   ++sh.counters.hits;
+  ++it->second->use_count;
   sh.lru.splice(sh.lru.begin(), sh.lru, it->second);  // touch
   return true;
 }
@@ -24,14 +38,41 @@ void TargetCache::insert(int node, std::uint32_t gid, std::size_t bytes) {
   Shard& sh = shards_[static_cast<std::size_t>(node)];
   const std::scoped_lock lk(sh.mu);
   if (sh.map.contains(gid)) return;
-  while (sh.used_bytes + bytes > capacity_ && !sh.lru.empty()) {
-    const Entry& victim = sh.lru.back();
-    sh.used_bytes -= victim.bytes;
-    sh.map.erase(victim.gid);
-    sh.lru.pop_back();
-    ++sh.counters.evictions;
+  if (admission_) {
+    // Eviction-aware admission: only hitless LRU-tail entries may be
+    // sacrificed for the hitless newcomer. A warm tail entry takes a second
+    // chance instead — hit count halved, rotated to the front — for a
+    // bounded number of probes; if the cache is still too full after that,
+    // the newcomer is refused.
+    std::size_t probes = 0;
+    while (sh.used_bytes + bytes > capacity_ && !sh.lru.empty() &&
+           probes < kAdmissionProbes) {
+      Entry& victim = sh.lru.back();
+      if (victim.use_count == 0) {
+        sh.used_bytes -= victim.bytes;
+        sh.map.erase(victim.gid);
+        sh.lru.pop_back();
+        ++sh.counters.evictions;
+      } else {
+        victim.use_count /= 2;
+        sh.lru.splice(sh.lru.begin(), sh.lru, std::prev(sh.lru.end()));
+        ++probes;
+      }
+    }
+    if (sh.used_bytes + bytes > capacity_) {
+      ++sh.counters.admission_rejects;
+      return;
+    }
+  } else {
+    while (sh.used_bytes + bytes > capacity_ && !sh.lru.empty()) {
+      const Entry& victim = sh.lru.back();
+      sh.used_bytes -= victim.bytes;
+      sh.map.erase(victim.gid);
+      sh.lru.pop_back();
+      ++sh.counters.evictions;
+    }
   }
-  sh.lru.push_front(Entry{gid, bytes});
+  sh.lru.push_front(Entry{gid, bytes, 0});
   sh.map.emplace(gid, sh.lru.begin());
   sh.used_bytes += bytes;
   ++sh.counters.insertions;
@@ -40,12 +81,113 @@ void TargetCache::insert(int node, std::uint32_t gid, std::size_t bytes) {
 CacheCounters TargetCache::counters() const {
   CacheCounters c;
   for (const auto& sh : shards_) {
+    const std::scoped_lock lk(sh.mu);
     c.hits += sh.counters.hits;
     c.misses += sh.counters.misses;
     c.insertions += sh.counters.insertions;
     c.evictions += sh.counters.evictions;
+    c.admission_rejects += sh.counters.admission_rejects;
   }
   return c;
+}
+
+std::size_t TargetCache::entries() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    const std::scoped_lock lk(sh.mu);
+    n += sh.map.size();
+  }
+  return n;
+}
+
+// --- snapshot serialization --------------------------------------------------
+//
+// Per-shard layout (LRU order, most recent first):
+//   nnodes u64
+//   per node: counters 5 x u64 | nentries u64
+//     per entry: gid u32 | use_count u32 | bytes u64
+
+void TargetCache::save(std::ostream& os) const {
+  using snapio::put;
+  put<std::uint64_t>(os, shards_.size());
+  for (const auto& sh : shards_) {
+    const std::scoped_lock lk(sh.mu);
+    snapio::put_counters(os, sh.counters);
+    put<std::uint64_t>(os, sh.lru.size());
+    for (const Entry& e : sh.lru) {
+      put<std::uint32_t>(os, e.gid);
+      put<std::uint32_t>(os, e.use_count);
+      put<std::uint64_t>(os, e.bytes);
+    }
+  }
+}
+
+void TargetCache::load(std::istream& is) {
+  using snapio::get;
+  const auto nnodes = get<std::uint64_t>(is);
+  if (nnodes != shards_.size())
+    throw CacheSnapshotError(
+        "cache snapshot: target section has " + std::to_string(nnodes) +
+        " node shards, this topology has " + std::to_string(shards_.size()));
+  for (auto& sh : shards_) {
+    const CacheCounters counters = snapio::get_counters(is);
+    const auto nentries = get<std::uint64_t>(is);
+    std::vector<Entry> entries(static_cast<std::size_t>(nentries));
+    std::size_t total_bytes = 0;
+    for (auto& e : entries) {  // most recently used first
+      e.gid = get<std::uint32_t>(is);
+      e.use_count = get<std::uint32_t>(is);
+      e.bytes = get<std::uint64_t>(is);
+      total_bytes += e.bytes;
+    }
+
+    std::uint64_t dropped = 0;
+    if (total_bytes > capacity_) {
+      // The snapshot was taken by a bigger cache: admit the warmest entries
+      // (persisted hit count, recency breaking ties) while they fit — the
+      // eviction-aware admission policy applied wholesale at load time.
+      std::vector<std::size_t> order(entries.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return entries[a].use_count > entries[b].use_count;
+                       });  // stable: equal heat keeps MRU-first order
+      std::vector<char> keep(entries.size(), 0);
+      std::size_t used = 0;
+      for (const std::size_t i : order) {
+        if (used + entries[i].bytes <= capacity_) {
+          used += entries[i].bytes;
+          keep[i] = 1;
+        } else {
+          ++dropped;
+        }
+      }
+      std::vector<Entry> kept;
+      kept.reserve(entries.size() - static_cast<std::size_t>(dropped));
+      for (std::size_t i = 0; i < entries.size(); ++i)
+        if (keep[i]) kept.push_back(entries[i]);  // original recency order
+      entries = std::move(kept);
+      total_bytes = used;
+    }
+
+    // Stage outside the lock, then swap in: a shard is either fully
+    // replaced or (on a malformed snapshot) left exactly as it was.
+    std::list<Entry> lru;
+    std::unordered_map<std::uint32_t, std::list<Entry>::iterator> map;
+    map.reserve(entries.size());
+    for (const Entry& e : entries) {
+      lru.push_back(e);
+      if (!map.emplace(e.gid, std::prev(lru.end())).second)
+        throw CacheSnapshotError("cache snapshot: duplicate target entry");
+    }
+
+    const std::scoped_lock lk(sh.mu);
+    sh.lru = std::move(lru);
+    sh.map = std::move(map);
+    sh.used_bytes = total_bytes;
+    sh.counters = counters;
+    sh.counters.admission_rejects += dropped;
+  }
 }
 
 }  // namespace mera::cache

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <list>
 #include <mutex>
 #include <unordered_map>
@@ -24,6 +25,14 @@ class TargetCache {
   struct Options {
     /// Cached payload budget per node (paper: 6 GB/node; scaled down).
     std::size_t capacity_bytes_per_node = 64u << 20;
+    /// Eviction-aware admission (multi-tenant batch streams): an insert that
+    /// must evict to fit only sacrifices LRU-tail entries with no recorded
+    /// hits. A warm tail entry gets a second chance — its hit count is
+    /// halved and it rotates to the front — for a bounded number of probes;
+    /// if the cache is still too full of warmer-than-the-newcomer entries,
+    /// the insert is refused (counters().admission_rejects). Off = plain
+    /// byte-bounded LRU.
+    bool eviction_aware_admission = false;
   };
 
   TargetCache(const pgas::Topology& topo, Options opt);
@@ -36,14 +45,34 @@ class TargetCache {
   void insert(int node, std::uint32_t gid, std::size_t bytes);
 
   [[nodiscard]] CacheCounters counters() const;
+  [[nodiscard]] std::size_t entries() const;  ///< summed over nodes
+  [[nodiscard]] std::size_t capacity_bytes_per_node() const noexcept {
+    return capacity_;
+  }
+
+  // --- snapshot persistence (cache_snapshot.hpp wraps these in a versioned,
+  // checksummed, fingerprinted file format) --------------------------------
+  /// Serialize every node shard — entries in LRU order (most recent first)
+  /// with payload sizes and per-entry hit counts, plus cumulative counters —
+  /// so load() reproduces this cache bit-for-bit. Takes each shard's lock in
+  /// turn; safe concurrently with contains/insert.
+  void save(std::ostream& os) const;
+  /// Replace this cache's contents with a saved snapshot. The snapshot's
+  /// node count must match (throws CacheSnapshotError otherwise). When the
+  /// snapshot's payload exceeds capacity_bytes_per_node, the warmest entries
+  /// win: admitted by (persisted hits desc, most recently used first) while
+  /// they fit, the rest counted as admission_rejects. Restored counters are
+  /// cumulative across processes.
+  void load(std::istream& is);
 
  private:
   struct Entry {
     std::uint32_t gid;
     std::size_t bytes;
+    std::uint32_t use_count = 0;  ///< contains() hits (admission policy)
   };
   struct Shard {
-    std::mutex mu;
+    mutable std::mutex mu;
     std::list<Entry> lru;  ///< front = most recent
     std::unordered_map<std::uint32_t, std::list<Entry>::iterator> map;
     std::size_t used_bytes = 0;
@@ -51,6 +80,7 @@ class TargetCache {
   };
 
   std::size_t capacity_;
+  bool admission_;
   std::vector<Shard> shards_;
 };
 

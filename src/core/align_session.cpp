@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "cache/cache_snapshot.hpp"
 #include "core/exact_match.hpp"
 #include "core/file_stream.hpp"
 #include "core/load_balance.hpp"
@@ -165,12 +166,15 @@ class RankAligner {
     if (sh_.scache && off_node &&
         sh_.scache->lookup(my_node, m, sh_.cfg.max_hits_per_seed, hits, total)) {
       ++st_.seed_cache_hits;
-      return total;
+    } else {
+      const double t0 = rank_.stats().comm_time_s;
+      total = sh_.index.lookup(rank_, m, sh_.cfg.max_hits_per_seed, hits);
+      st_.comm_lookup_s += rank_.stats().comm_time_s - t0;
+      if (sh_.scache && off_node) sh_.scache->insert(my_node, m, hits, total);
     }
-    const double t0 = rank_.stats().comm_time_s;
-    total = sh_.index.lookup(rank_, m, sh_.cfg.max_hits_per_seed, hits);
-    st_.comm_lookup_s += rank_.stats().comm_time_s - t0;
-    if (sh_.scache && off_node) sh_.scache->insert(my_node, m, hits, total);
+    // The cache stores a seed's true index-wide total, so a truncated list
+    // counts the same whether the node cache or the index served it — a
+    // warm-started run must report cold-identical work stats.
     if (total > sh_.cfg.max_hits_per_seed) ++st_.hits_truncated;
     return total;
   }
@@ -252,10 +256,12 @@ AlignSession::AlignSession(IndexedReference ref, SessionConfig cfg)
   const pgas::Topology& topo = ref_.topology();
   if (cfg_.seed_cache)
     scache_.emplace(topo,
-                    cache::SeedIndexCache::Options{cfg_.seed_cache_capacity});
+                    cache::SeedIndexCache::Options{cfg_.seed_cache_capacity,
+                                                   cfg_.cache_admission});
   if (cfg_.target_cache)
     tcache_.emplace(topo,
-                    cache::TargetCache::Options{cfg_.target_cache_bytes});
+                    cache::TargetCache::Options{cfg_.target_cache_bytes,
+                                                cfg_.cache_admission});
 }
 
 BatchResult AlignSession::align_batch(pgas::Runtime& rt,
@@ -351,6 +357,44 @@ BatchResult AlignSession::run_batch(pgas::Runtime& rt,
   }
   ++batches_done_;
   return res;
+}
+
+void AlignSession::save_caches(const pgas::Runtime& rt,
+                               const std::string& path) const {
+  cache::save_caches(path, snapshot_meta(rt), scache_ ? &*scache_ : nullptr,
+                     tcache_ ? &*tcache_ : nullptr);
+}
+
+void AlignSession::load_caches(const pgas::Runtime& rt,
+                               const std::string& path) {
+  // Re-seed the per-batch delta baseline afterwards — even on a failed load,
+  // which may have replaced counters before throwing: the loaded counters
+  // are imported history, not this session's activity, so the next
+  // BatchResult must report post-load work only (see the header contract).
+  const auto reseed = [this] {
+    if (scache_) seed_base_ = scache_->counters();
+    if (tcache_) target_base_ = tcache_->counters();
+  };
+  try {
+    cache::load_caches(path, snapshot_meta(rt), scache_ ? &*scache_ : nullptr,
+                       tcache_ ? &*tcache_ : nullptr);
+  } catch (...) {
+    reseed();
+    throw;
+  }
+  reseed();
+}
+
+cache::SnapshotMeta AlignSession::snapshot_meta(const pgas::Runtime& rt) const {
+  cache::SnapshotMeta meta;
+  meta.k = ref_.config().k;
+  meta.nranks = ref_.topology().nranks();
+  meta.ppn = ref_.topology().ppn();
+  meta.nnodes = ref_.topology().nnodes();
+  meta.max_hits_per_seed = cfg_.max_hits_per_seed;
+  meta.cost_model = rt.cost_model();
+  meta.reference_fingerprint = ref_.fingerprint();
+  return meta;
 }
 
 cache::CacheCounters AlignSession::seed_cache_counters() const {

@@ -36,6 +36,9 @@
 namespace mera::exec {
 class ThreadPool;
 }
+namespace mera::cache {
+struct SnapshotMeta;
+}
 
 namespace mera::core {
 
@@ -47,6 +50,13 @@ struct SessionConfig {
   std::size_t seed_cache_capacity = 1u << 18;
   bool target_cache = true;
   std::size_t target_cache_bytes = 64u << 20;
+  /// Eviction-aware admission on both caches (multi-tenant batch streams):
+  /// a full cache refuses entries colder than anything it would have to
+  /// evict for them, so one tenant's cold scan cannot churn out another's
+  /// proven-hot working set — including a working set restored by
+  /// load_caches(), whose per-entry hit counters persist. Never changes
+  /// emitted records, only which lookups stay cached.
+  bool cache_admission = false;
 
   /// Take the Lemma-1 exact-match fast path (requires a reference built with
   /// IndexConfig::exact_match; silently disabled otherwise).
@@ -155,14 +165,42 @@ class AlignSession {
   [[nodiscard]] std::size_t batches_aligned() const noexcept {
     return batches_done_;
   }
-  /// Cumulative cache counters over the whole session.
+  /// Cumulative cache counters over the whole session — including any
+  /// history restored by load_caches().
   [[nodiscard]] cache::CacheCounters seed_cache_counters() const;
   [[nodiscard]] cache::CacheCounters target_cache_counters() const;
+
+  // --- cache persistence (warm start across sessions and processes) --------
+  /// Snapshot this session's software caches — entries, per-entry hit
+  /// counts, cumulative counters — into `path` (one file), stamped with the
+  /// seed length, `rt`'s cost model and the reference fingerprint so it can
+  /// never be loaded against the wrong index. Callable at any time; safe
+  /// concurrently with an in-flight align_batch (each cache shard is
+  /// snapshotted under its lock). Throws cache::CacheSnapshotError on I/O
+  /// failure. A session with both caches disabled writes a valid (empty)
+  /// snapshot.
+  void save_caches(const pgas::Runtime& rt, const std::string& path) const;
+  /// Replace this session's cache contents with a snapshot saved by
+  /// save_caches — typically by a previous process over the same reference.
+  /// Warm-started batches emit bit-identical records/SAM to cold ones;
+  /// persistence changes seconds, never bytes. Throws
+  /// cache::CacheSnapshotError (caches untouched) when the snapshot is
+  /// missing, truncated, corrupt, or was recorded against a different
+  /// reference / topology / cost model.
+  ///
+  /// Counter baseline: restored CacheCounters are cumulative across
+  /// processes (seed_cache_counters() includes the saving session's
+  /// history), and the per-batch delta baseline is re-seeded to the loaded
+  /// values — the next BatchResult reports only post-load cache activity,
+  /// never the imported history.
+  void load_caches(const pgas::Runtime& rt, const std::string& path);
 
  private:
   BatchResult run_batch(pgas::Runtime& rt,
                         std::span<const seq::SeqRecord> mem_reads,
                         const std::string& seqdb_path, AlignmentSink& sink);
+  /// What this session's snapshots are stamped with and validated against.
+  [[nodiscard]] cache::SnapshotMeta snapshot_meta(const pgas::Runtime& rt) const;
 
   IndexedReference ref_;
   SessionConfig cfg_;

@@ -171,4 +171,35 @@ std::size_t IndexedReference::index_entries() const {
   return state_->index.total_entries();
 }
 
+std::uint64_t IndexedReference::fingerprint() const {
+  // FNV-1a over the facts that determine target/fragment ids and seed-hit
+  // lists: index-shaping config, topology, and every target's name, length
+  // and packed payload (in global-id order, which is itself part of what is
+  // being fingerprinted).
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  const auto mix64 = [&](std::uint64_t v) { mix(&v, sizeof v); };
+  mix64(static_cast<std::uint64_t>(state_->cfg.k));
+  mix64(static_cast<std::uint64_t>(state_->cfg.fragment_len));
+  mix64(static_cast<std::uint64_t>(state_->topo.nranks()));
+  mix64(static_cast<std::uint64_t>(state_->topo.ppn()));
+  const std::uint32_t n = state_->store.num_targets();
+  mix64(n);
+  for (std::uint32_t gid = 0; gid < n; ++gid) {
+    const Target& t = state_->store.target_unsync(gid);
+    mix64(t.name.size());
+    mix(t.name.data(), t.name.size());
+    mix64(t.seq.size());
+    const auto words = t.seq.words();
+    mix(words.data(), words.size() * sizeof(std::uint64_t));
+  }
+  return h;
+}
+
 }  // namespace mera::core

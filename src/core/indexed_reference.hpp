@@ -68,6 +68,14 @@ class IndexedReference {
   /// session may use the Lemma-1 exact-match fast path.
   [[nodiscard]] bool exact_match_marked() const noexcept;
 
+  /// Content fingerprint of this reference: hashes the index-shaping config
+  /// (k, fragment length), the topology it was built on, and every target's
+  /// name, length and packed bases. Two references with equal fingerprints
+  /// assign the same ids to the same sequences, so state recorded against
+  /// one (e.g. a cache snapshot's seed-hit lists) is valid against the
+  /// other. O(total bases); intended for snapshot save/load, not hot paths.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
   /// Phase report of the build run: startup, io.targets, index.build, and
   /// (when exact_match) index.mark. Batches never repeat these phases.
   [[nodiscard]] const pgas::PhaseReport& build_report() const noexcept;

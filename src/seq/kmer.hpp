@@ -42,6 +42,28 @@ class Kmer {
     return m;
   }
 
+  /// The packed 2-bit payload, for serialization. Bits at positions >= 2k
+  /// are always zero (class invariant), so equal seeds have equal words.
+  [[nodiscard]] const std::array<std::uint64_t, 2>& words() const noexcept {
+    return w_;
+  }
+
+  /// Rebuild from serialized words; nullopt if k is out of range or any bit
+  /// above position 2k is set (a valid encoder never produces those, so they
+  /// signal corruption).
+  static std::optional<Kmer> from_words(
+      int k, const std::array<std::uint64_t, 2>& w) noexcept {
+    if (k <= 0 || k > kMaxSeedLen) return std::nullopt;
+    for (int i = k; i < kMaxSeedLen; ++i) {
+      if ((w[static_cast<std::size_t>(i) >> 5] >> ((i & 31) * 2)) & 3u)
+        return std::nullopt;
+    }
+    Kmer m;
+    m.k_ = k;
+    m.w_ = w;
+    return m;
+  }
+
   /// Build from a window of an (all-valid) packed sequence.
   static Kmer from_packed(const PackedSeq& s, std::size_t pos, int k) {
     Kmer m;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <tuple>
 #include <utility>
 
+#include "cache/cache_snapshot.hpp"
 #include "core/file_stream.hpp"
 #include "core/load_balance.hpp"
 #include "exec/task_group.hpp"
@@ -99,6 +101,38 @@ ShardedAlignSession::ShardedAlignSession(ShardedAlignSession&&) noexcept =
     default;
 ShardedAlignSession& ShardedAlignSession::operator=(
     ShardedAlignSession&&) noexcept = default;
+
+void ShardedAlignSession::save_caches(const pgas::Runtime& rt,
+                                      const std::string& dir) const {
+  // The file-level writer creates each snapshot's parent directory (== dir)
+  // and maps failures to CacheSnapshotError.
+  for (int s = 0; s < num_shards(); ++s)
+    sessions_[static_cast<std::size_t>(s)]->save_caches(
+        rt, cache::shard_snapshot_path(dir, s));
+}
+
+void ShardedAlignSession::load_caches(const pgas::Runtime& rt,
+                                      const std::string& dir) {
+  // A snapshot directory of a different K would either miss a shard file or
+  // carry a stray one; both are composition mismatches worth naming before
+  // the per-shard fingerprint checks run.
+  for (int s = 0; s < num_shards(); ++s) {
+    const std::string path = cache::shard_snapshot_path(dir, s);
+    if (!std::filesystem::exists(path))
+      throw cache::CacheSnapshotError(
+          "cache snapshot: " + path + " is missing — " + dir +
+          " does not hold a snapshot of this " + std::to_string(num_shards()) +
+          "-shard session");
+  }
+  if (std::filesystem::exists(cache::shard_snapshot_path(dir, num_shards())))
+    throw cache::CacheSnapshotError(
+        "cache snapshot: " + dir + " holds more than " +
+        std::to_string(num_shards()) +
+        " shard files — it was saved by a different sharding");
+  for (int s = 0; s < num_shards(); ++s)
+    sessions_[static_cast<std::size_t>(s)]->load_caches(
+        rt, cache::shard_snapshot_path(dir, s));
+}
 
 int ShardedAlignSession::effective_parallelism(int nranks) const {
   const int k = ref_.num_shards();

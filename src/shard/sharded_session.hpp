@@ -163,6 +163,24 @@ class ShardedAlignSession {
     return *sessions_.at(static_cast<std::size_t>(s));
   }
 
+  // --- cache persistence (warm start across sessions and processes) --------
+  /// Snapshot every shard session's software caches into directory `dir`
+  /// (created if needed): one self-validating file per shard
+  /// (shard-0000.mcache, ...), composed exactly like the ShardedReference's
+  /// per-shard indexes. Safe concurrently with an in-flight parallel batch
+  /// (each cache shard is snapshotted under its lock). Throws
+  /// cache::CacheSnapshotError on I/O failure.
+  void save_caches(const pgas::Runtime& rt, const std::string& dir) const;
+  /// Load a directory written by save_caches into the K shard sessions.
+  /// Each file is validated against its own shard's reference fingerprint,
+  /// so a snapshot of a different sharding (other K, other plan) or another
+  /// collection is rejected with cache::CacheSnapshotError. Shards load in
+  /// order; on a mid-sequence failure the earlier shards stay warm-loaded,
+  /// which is harmless — cache contents affect seconds, never bytes. The
+  /// per-batch counter baselines re-seed exactly as in
+  /// core::AlignSession::load_caches.
+  void load_caches(const pgas::Runtime& rt, const std::string& dir);
+
  private:
   ShardedBatchResult run_batch(pgas::Runtime& rt,
                                const std::vector<seq::SeqRecord>& reads,

@@ -227,3 +227,127 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "--no-prefetch multi-batch run exited with ${rc}\nstderr:\n${err}")
 endif()
 check_sam(${WORKDIR}/out_multi_noprefetch.sam "multi-batch --no-prefetch")
+
+# --- 7. cache persistence: save in one process, warm-load in another ---------
+# The cold run snapshots its caches; a second process warm-starts from them.
+# Persistence must change seconds, never bytes: both runs produce the same
+# SAM (and the same golden SAM, since this is the scenario-1 configuration).
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --out ${WORKDIR}/out_cachecold.sam
+    --k 31 --ranks 4 --ppn 2 --no-permute
+    --save-cache ${WORKDIR}/cache_snapshot
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--save-cache run exited with ${rc}\nstderr:\n${err}")
+endif()
+if(NOT err MATCHES "caches saved to")
+  message(FATAL_ERROR "--save-cache run did not report the snapshot:\n${err}")
+endif()
+if(NOT EXISTS ${WORKDIR}/cache_snapshot/session.mcache)
+  message(FATAL_ERROR "--save-cache did not write cache_snapshot/session.mcache")
+endif()
+
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --out ${WORKDIR}/out_cachewarm.sam
+    --k 31 --ranks 4 --ppn 2 --no-permute
+    --load-cache ${WORKDIR}/cache_snapshot
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--load-cache run exited with ${rc}\nstderr:\n${err}")
+endif()
+if(NOT err MATCHES "warm caches loaded from")
+  message(FATAL_ERROR "--load-cache run did not report the warm start:\n${err}")
+endif()
+check_sam_against(${WORKDIR}/out_cachewarm.sam ${WORKDIR}/out_cachecold.sam
+                  "warm-vs-cold")
+check_sam(${WORKDIR}/out_cachewarm.sam "warm-started single batch")
+
+# Sharded equivalent: one snapshot per shard, same bytes warm as cold.
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --out ${WORKDIR}/out_shardcachecold.sam
+    --k 31 --ranks 4 --ppn 2 --no-permute --no-exact --shards 3
+    --save-cache ${WORKDIR}/shard_cache_snapshot
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sharded --save-cache run exited with ${rc}\nstderr:\n${err}")
+endif()
+if(NOT EXISTS ${WORKDIR}/shard_cache_snapshot/shard-0002.mcache)
+  message(FATAL_ERROR "sharded --save-cache did not write one snapshot per shard")
+endif()
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --out ${WORKDIR}/out_shardcachewarm.sam
+    --k 31 --ranks 4 --ppn 2 --no-permute --no-exact --shards 3
+    --load-cache ${WORKDIR}/shard_cache_snapshot
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sharded --load-cache run exited with ${rc}\nstderr:\n${err}")
+endif()
+check_sam_against(${WORKDIR}/out_shardcachewarm.sam
+                  ${WORKDIR}/out_shardcachecold.sam "sharded warm-vs-cold")
+
+# Bad cache flags are usage errors (exit 2 + usage), not silent cold starts:
+# a missing snapshot directory, a snapshot recorded against a different index
+# (other k), and --save-cache without --reads.
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --k 31 --ranks 4 --ppn 2 --load-cache ${WORKDIR}/no_such_snapshot
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "--load-cache on a missing dir exited ${rc}, expected 2")
+endif()
+if(NOT err MATCHES "load-cache" OR NOT err MATCHES "meraligner --targets")
+  message(FATAL_ERROR "missing-dir --load-cache did not print the usage message:\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --k 21 --ranks 4 --ppn 2 --load-cache ${WORKDIR}/cache_snapshot
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "--load-cache with mismatched k exited ${rc}, expected 2")
+endif()
+if(NOT err MATCHES "mismatch" OR NOT err MATCHES "meraligner --targets")
+  message(FATAL_ERROR "mismatched --load-cache did not print the usage message:\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --save-cache ${WORKDIR}/cache_noreads
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "--save-cache without --reads exited ${rc}, expected 2")
+endif()
+if(NOT err MATCHES "missing required flag --reads" OR NOT err MATCHES "meraligner --targets")
+  message(FATAL_ERROR "--save-cache without --reads did not print the usage message:\n${err}")
+endif()

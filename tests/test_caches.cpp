@@ -175,6 +175,99 @@ TEST(TargetCache, DuplicateInsertKeepsOneCopy) {
   EXPECT_TRUE(cache.contains(0, 6));
 }
 
+// ---------------------------------------------------------------------------
+// Eviction-aware admission (multi-tenant streams; persisted hit counters)
+// ---------------------------------------------------------------------------
+
+TEST(SeedIndexCache, AdmissionProtectsWarmEntriesFromColdFloods) {
+  SeedIndexCache cache(Topology(2, 2),
+                       {.capacity_per_node = 4, .eviction_aware_admission = true});
+  std::vector<SeedHit> out;
+  std::size_t total = 0;
+  for (int i = 0; i < 4; ++i) {
+    std::string s = "AAAAAAA";
+    s[0] = "ACGT"[i];
+    cache.insert(0, kmer_of(s), {{static_cast<std::uint32_t>(i), 0, 0}}, 1);
+  }
+  // One proven-hot entry; the other three stay hitless.
+  const Kmer hot = kmer_of("GAAAAAA");
+  for (int rep = 0; rep < 100; ++rep) {
+    out.clear();
+    ASSERT_TRUE(cache.lookup(0, hot, 4, out, total));
+  }
+  // A cold multi-tenant flood cycles through the hitless slots...
+  for (int i = 0; i < 16; ++i) {
+    std::string s = "CCCCCCC";
+    s[0] = "ACGT"[i % 4];
+    s[1] = "ACGT"[i / 4];
+    cache.insert(0, kmer_of(s), {{0, 0, 0}}, 1);
+  }
+  // ...but the warm working set survives it.
+  out.clear();
+  EXPECT_TRUE(cache.lookup(0, hot, 4, out, total));
+  EXPECT_GT(cache.counters().evictions, 0u);  // cold entries did cycle
+}
+
+TEST(SeedIndexCache, AdmissionRejectsWhenEverythingIsWarmer) {
+  SeedIndexCache cache(Topology(2, 2),
+                       {.capacity_per_node = 2, .eviction_aware_admission = true});
+  std::vector<SeedHit> out;
+  std::size_t total = 0;
+  cache.insert(0, kmer_of("AAAAAAA"), {{1, 0, 0}}, 1);
+  cache.insert(0, kmer_of("CAAAAAA"), {{2, 0, 0}}, 1);
+  for (int rep = 0; rep < 64; ++rep) {
+    out.clear();
+    cache.lookup(0, kmer_of("AAAAAAA"), 4, out, total);
+    out.clear();
+    cache.lookup(0, kmer_of("CAAAAAA"), 4, out, total);
+  }
+  cache.insert(0, kmer_of("GAAAAAA"), {{3, 0, 0}}, 1);  // colder than both
+  out.clear();
+  EXPECT_FALSE(cache.lookup(0, kmer_of("GAAAAAA"), 4, out, total));
+  EXPECT_EQ(cache.counters().admission_rejects, 1u);
+  EXPECT_EQ(cache.counters().evictions, 0u);
+  EXPECT_TRUE(cache.lookup(0, kmer_of("AAAAAAA"), 4, out, total));
+
+  // The probe decays hit counts, so a persistent newcomer is admitted
+  // eventually — warm entries are protected, not immortal.
+  for (int i = 0; i < 16; ++i) {
+    std::string s = "GGGGGGG";
+    s[1] = "ACGT"[i % 4];
+    s[2] = "ACGT"[i / 4];
+    cache.insert(0, kmer_of(s), {{4, 0, 0}}, 1);
+  }
+  EXPECT_GT(cache.counters().evictions, 0u);
+}
+
+TEST(TargetCache, AdmissionGivesWarmTailEntriesASecondChance) {
+  TargetCache cache(Topology(2, 2), {.capacity_bytes_per_node = 1000,
+                                     .eviction_aware_admission = true});
+  cache.insert(0, 1, 500);
+  cache.insert(0, 2, 500);
+  for (int rep = 0; rep < 3; ++rep) EXPECT_TRUE(cache.contains(0, 1));
+  // Tail is the hitless id 2; it is sacrificed, the warm id 1 survives.
+  cache.insert(0, 3, 500);
+  EXPECT_TRUE(cache.contains(0, 1));
+  EXPECT_FALSE(cache.contains(0, 2));
+  EXPECT_TRUE(cache.contains(0, 3));
+}
+
+TEST(TargetCache, AdmissionRejectsWhenEverythingIsWarmer) {
+  TargetCache cache(Topology(2, 2), {.capacity_bytes_per_node = 1000,
+                                     .eviction_aware_admission = true});
+  cache.insert(0, 1, 500);
+  cache.insert(0, 2, 500);
+  for (int rep = 0; rep < 200; ++rep) {
+    cache.contains(0, 1);
+    cache.contains(0, 2);
+  }
+  cache.insert(0, 3, 500);  // both residents are far warmer: refused
+  EXPECT_FALSE(cache.contains(0, 3));
+  EXPECT_TRUE(cache.contains(0, 1));
+  EXPECT_TRUE(cache.contains(0, 2));
+  EXPECT_EQ(cache.counters().admission_rejects, 1u);
+}
+
 TEST(TargetCache, ConcurrentAccessIsSafe) {
   TargetCache cache(Topology(8, 4), {1 << 16});
   std::vector<std::thread> threads;

@@ -9,6 +9,7 @@
 //              [--no-permute] [--stats]
 //              [--shards K] [--shard-by cost|bases] [--shard-parallel J]
 //              [--no-prefetch]
+//              [--save-cache DIR] [--load-cache DIR] [--cache-admission]
 //
 // The distributed seed index is built ONCE from --targets; every --reads
 // batch is then streamed against it through one AlignSession, so batch N>1
@@ -29,13 +30,26 @@
 // memory). --no-prefetch restores the strictly serial load-then-align loop,
 // converting FASTQ to a temporary SeqDB next to the input (the paper's
 // one-time lossless preprocessing) so every rank reads its own byte range.
+//
+// Cache persistence: --save-cache DIR snapshots the session's software
+// caches (seed + target, entries and counters) after the last batch;
+// --load-cache DIR warm-starts a later invocation from such a snapshot, so
+// a restarted screening service skips the remote lookups the previous run
+// already paid for. Snapshots are fingerprinted against the reference,
+// topology and cost model — loading a mismatched or damaged snapshot is a
+// usage error (exit 2), not a silent cold start. Warm output is
+// byte-for-byte the cold output; only the cache hit rates and modeled
+// communication seconds change. --cache-admission turns on the
+// eviction-aware admission policy for multi-tenant batch streams.
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "cache/cache_snapshot.hpp"
 #include "cli_util.hpp"
 #include "core/align_session.hpp"
 #include "core/alignment_sink.hpp"
@@ -56,6 +70,7 @@ constexpr const char* kUsage =
     "           [--no-aggregation] [--no-permute] [--stats]\n"
     "           [--shards K] [--shard-by cost|bases] [--shard-parallel J]\n"
     "           [--no-prefetch]\n"
+    "           [--save-cache DIR] [--load-cache DIR] [--cache-admission]\n"
     "\n"
     "The index over --targets is built once; each --reads batch is aligned\n"
     "against it in order, streaming SAM into --out (one header, all batches).\n"
@@ -65,7 +80,11 @@ constexpr const char* kUsage =
     "repeating --targets makes one shard per FASTA. Either way the batches\n"
     "stream through every shard and come out as one reconciled SAM.\n"
     "--shard-parallel J aligns J shards concurrently per batch (default:\n"
-    "auto = min(K, hardware threads / ranks)); same bytes at every J.";
+    "auto = min(K, hardware threads / ranks)); same bytes at every J.\n"
+    "--save-cache DIR snapshots the software caches after the last batch;\n"
+    "--load-cache DIR warm-starts from such a snapshot (same reference,\n"
+    "topology and cost model required). Warm runs emit the same SAM bytes\n"
+    "as cold ones — only the remote-lookup work changes.";
 
 mera::align::SwKernel parse_kernel(const std::string& name) {
   using mera::align::SwKernel;
@@ -127,6 +146,26 @@ void print_prefetch_line(double wall_s, double load_wall_s, double stall_s) {
                wall_s, load_wall_s, stall_s);
 }
 
+/// Warm-load failures are invocation errors (exit 2 + usage): the user
+/// pointed --load-cache at a snapshot that does not exist or does not match
+/// this reference/topology/cost model.
+template <typename SessionT>
+void load_caches_or_usage_error(SessionT& session, const mera::pgas::Runtime& rt,
+                                const std::string& dir,
+                                const std::string& path) {
+  try {
+    session.load_caches(rt, path);
+  } catch (const mera::cache::CacheSnapshotError& e) {
+    throw mera::tools::UsageError("--load-cache " + dir + ": " + e.what());
+  }
+  std::fprintf(stderr, "[meraligner] warm caches loaded from %s\n",
+               dir.c_str());
+}
+
+void print_save_line(const std::string& dir) {
+  std::fprintf(stderr, "[meraligner] caches saved to %s\n", dir.c_str());
+}
+
 void print_total_line(const mera::core::PipelineStats& total, double index_s,
                       double align_s) {
   std::fprintf(stderr,
@@ -154,7 +193,8 @@ int main(int argc, char** argv) {
                       "max-hits", "fragment-len", "sw", "no-exact",
                       "no-seed-cache", "no-target-cache", "no-aggregation",
                       "no-permute", "stats", "shards", "shard-by",
-                      "shard-parallel", "no-prefetch", "help"});
+                      "shard-parallel", "no-prefetch", "save-cache",
+                      "load-cache", "cache-admission", "help"});
     const std::vector<std::string> target_files = args.get_all("targets");
     if (target_files.empty())
       throw tools::UsageError("missing required flag --targets");
@@ -178,6 +218,18 @@ int main(int argc, char** argv) {
     scfg.target_cache = !args.has("no-target-cache");
     scfg.permute_queries = !args.has("no-permute");
     scfg.extension.kernel = parse_kernel(args.get("sw", "full"));
+    scfg.cache_admission = args.has("cache-admission");
+
+    const std::string save_cache_dir = args.get("save-cache");
+    const std::string load_cache_dir = args.get("load-cache");
+    if (args.has("save-cache") && save_cache_dir.empty())
+      throw tools::UsageError("--save-cache expects a directory");
+    if (args.has("load-cache") && load_cache_dir.empty())
+      throw tools::UsageError("--load-cache expects a directory");
+    if (!load_cache_dir.empty() &&
+        !std::filesystem::is_directory(load_cache_dir))
+      throw tools::UsageError("--load-cache: " + load_cache_dir +
+                              " is not a directory");
 
     const int nranks = static_cast<int>(args.get_int("ranks", 8));
     const int ppn = static_cast<int>(args.get_int("ppn", 4));
@@ -230,6 +282,10 @@ int main(int argc, char** argv) {
       if (args.has("stats")) ref.build_report().print(std::cerr);
 
       core::AlignSession session(ref, scfg);
+      if (!load_cache_dir.empty())
+        load_caches_or_usage_error(
+            session, rt, load_cache_dir,
+            load_cache_dir + "/" + cache::kSessionSnapshotFile);
       std::optional<core::SamFileSink> sam;
       core::CountingSink counter;
       if (!out.empty()) sam.emplace(out, ref, pg);
@@ -260,6 +316,11 @@ int main(int argc, char** argv) {
           const std::string db = ensure_seqdb(batches[b]);
           account_batch(b, session.align_batch_file(rt, db, sink));
         }
+      }
+      if (!save_cache_dir.empty()) {
+        session.save_caches(
+            rt, save_cache_dir + "/" + cache::kSessionSnapshotFile);
+        print_save_line(save_cache_dir);
       }
       print_total_line(total, ref.build_report().total_time_s(), align_time_s);
       return 0;
@@ -306,6 +367,8 @@ int main(int argc, char** argv) {
                  session.effective_parallelism(rt.nranks()),
                  session.num_shards(),
                  shard_parallel > 0 ? "--shard-parallel" : "auto");
+    if (!load_cache_dir.empty())
+      load_caches_or_usage_error(session, rt, load_cache_dir, load_cache_dir);
     std::optional<core::SamFileSink> sam;
     core::CountingSink counter;
     if (!out.empty()) sam.emplace(out, ref->sam_targets(), rt.nranks(), pg);
@@ -336,6 +399,10 @@ int main(int argc, char** argv) {
         const std::string db = ensure_seqdb(batches[b]);
         account_batch(b, session.align_batch_file(rt, db, sink));
       }
+    }
+    if (!save_cache_dir.empty()) {
+      session.save_caches(rt, save_cache_dir);
+      print_save_line(save_cache_dir);
     }
     print_total_line(total, ref->build_time_serial_s(), align_serial_s);
     std::fprintf(stderr,
