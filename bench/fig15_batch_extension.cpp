@@ -1,0 +1,208 @@
+// Inter-candidate batch extension: BatchSwScorer vs per-pair striped.
+//
+// The paper's aligning phase scores every candidate window a read's seeds
+// produced. The striped kernel (fig14 territory) vectorizes WITHIN one
+// query/target pair and leaves lanes idle on short candidates; the batch
+// engine packs one CANDIDATE per lane and sweeps them together. This bench
+// measures that inter-candidate axis on a realistic multi-candidate
+// workload: Q reads, each with ~24 candidate windows (mutated copies of the
+// read embedded in flanking sequence, plus a few decoys), scored by
+//
+//   a. per-pair striped   — one StripedSmithWaterman profile per read,
+//                           align() once per candidate (the kStriped
+//                           extension path's engine cost), and
+//   b. BatchSwScorer      — same candidates, one flush per read, at every
+//                           dispatch tier the host supports.
+//
+// Every tier's (score, t_end) stream must be bit-identical to the striped
+// stream — the bench aborts otherwise, the same contract the `simd` test
+// label enforces. Throughput is reported as candidates/s; on hosts where
+// auto-dispatch reaches AVX2 or wider the run fails unless the widest tier
+// clears 2x the per-pair striped baseline.
+//
+// Output: paper-style stdout rows + BENCH_fig15.json. Pass --smoke for the
+// CI-sized workload.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "align/batch_sw.hpp"
+#include "align/scoring.hpp"
+#include "align/striped_sw.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using mera::align::BatchSwScorer;
+using mera::align::Scoring;
+using mera::align::StripedResult;
+using mera::align::StripedSmithWaterman;
+using mera::align::SwIsa;
+
+std::string random_dna(std::mt19937_64& rng, std::size_t len) {
+  static constexpr char kBases[] = "ACGT";
+  std::string s(len, 'A');
+  for (auto& c : s) c = kBases[rng() & 3u];
+  return s;
+}
+
+/// One read and the candidate windows its seeds would have produced.
+struct ReadCase {
+  std::vector<std::uint8_t> query;
+  std::vector<std::vector<std::uint8_t>> targets;
+};
+
+/// Q reads x C candidates. Most candidates embed a mutated copy of the read
+/// (substitutions + occasional indel) inside random flanks — high-scoring,
+/// like true seed extensions; a few are pure decoys that score near zero.
+std::vector<ReadCase> make_cases(std::size_t nreads, std::size_t ncand,
+                                 std::size_t read_len, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<ReadCase> cases(nreads);
+  for (auto& rc : cases) {
+    const std::string q = random_dna(rng, read_len);
+    rc.query = mera::align::dna_codes(q);
+    rc.targets.reserve(ncand);
+    for (std::size_t c = 0; c < ncand; ++c) {
+      std::string window;
+      if (c % 6 == 5) {  // decoy candidate: unrelated sequence
+        window = random_dna(rng, read_len + 2 * 50);
+      } else {
+        std::string body = q;
+        const int nsub = 1 + static_cast<int>(rng() % 5);
+        for (int e = 0; e < nsub; ++e)
+          body[rng() % body.size()] = "ACGT"[rng() & 3u];
+        if (c % 3 == 0) body.erase(rng() % (body.size() - 2), 1);
+        if (c % 4 == 1) body.insert(rng() % body.size(), 1, "ACGT"[rng() & 3u]);
+        window = random_dna(rng, 50) + body + random_dna(rng, 50);
+      }
+      rc.targets.push_back(mera::align::dna_codes(window));
+    }
+  }
+  return cases;
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+
+  bench::print_header(
+      "Inter-candidate batch extension — BatchSwScorer vs per-pair striped",
+      "Section V-B: Smith-Waterman extension of every seed candidate");
+  bench::JsonSummary json(
+      "fig15", "inter-candidate SIMD batch scoring vs per-pair striped");
+
+  const std::size_t nreads = smoke ? 48 : 256;
+  const std::size_t ncand = 24;
+  const std::size_t read_len = 101;
+  const int reps = smoke ? 2 : 4;
+  const auto cases = make_cases(nreads, ncand, read_len, /*seed=*/77);
+  const double npairs = static_cast<double>(nreads * ncand);
+  std::printf("workload: %zu reads x %zu candidates (%.0f pairs), %d reps%s\n",
+              nreads, ncand, npairs, reps, smoke ? " (smoke)" : "");
+
+  const Scoring sc;
+
+  // ---- baseline: per-pair striped (profile reused across candidates) ------
+  std::vector<StripedResult> golden;
+  golden.reserve(nreads * ncand);
+  double striped_best_s = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<StripedResult> out;
+    out.reserve(nreads * ncand);
+    const double t0 = now_s();
+    for (const auto& rc : cases) {
+      const StripedSmithWaterman ssw(
+          std::span<const std::uint8_t>(rc.query), sc);
+      for (const auto& t : rc.targets)
+        out.push_back(ssw.align(std::span<const std::uint8_t>(t)));
+    }
+    const double dt = now_s() - t0;
+    if (rep == 0 || dt < striped_best_s) striped_best_s = dt;
+    if (rep == 0) golden = std::move(out);
+  }
+  const double striped_cps = npairs / striped_best_s;
+  std::printf("\n%-10s %12s %16s %10s\n", "engine", "best(s)", "candidates/s",
+              "speedup");
+  std::printf("%-10s %12.4f %16.0f %9.2fx\n", "striped", striped_best_s,
+              striped_cps, 1.0);
+  json.config("striped_per_pair");
+  json.metric("best_s", striped_best_s);
+  json.metric("candidates_per_s", striped_cps);
+  json.metric("speedup_vs_striped", 1.0);
+
+  // ---- batch engine at every supported tier -------------------------------
+  const SwIsa widest = mera::align::detect_isa();
+  double widest_speedup = 0.0;
+  for (const SwIsa isa : {SwIsa::kScalar, SwIsa::kSse2, SwIsa::kAvx2,
+                          SwIsa::kAvx512}) {
+    if (!mera::align::isa_supported(isa)) continue;
+    double best_s = 0.0;
+    std::vector<StripedResult> out;
+    for (int rep = 0; rep < reps; ++rep) {
+      out.clear();
+      out.reserve(nreads * ncand);
+      const double t0 = now_s();
+      for (const auto& rc : cases) {
+        BatchSwScorer scorer(std::span<const std::uint8_t>(rc.query), sc,
+                             isa);
+        for (const auto& t : rc.targets)
+          scorer.add(std::span<const std::uint8_t>(t));
+        auto res = scorer.flush();
+        out.insert(out.end(), res.begin(), res.end());
+      }
+      const double dt = now_s() - t0;
+      if (rep == 0 || dt < best_s) best_s = dt;
+    }
+    // Bit-identity gate: every tier must reproduce the striped stream.
+    for (std::size_t i = 0; i < golden.size(); ++i) {
+      if (out[i].score != golden[i].score || out[i].t_end != golden[i].t_end) {
+        std::fprintf(stderr,
+                     "FATAL: batch[%s] pair %zu diverged from striped "
+                     "(score %d vs %d, t_end %zu vs %zu)\n",
+                     mera::align::isa_name(isa), i, out[i].score,
+                     golden[i].score, out[i].t_end, golden[i].t_end);
+        return 1;
+      }
+    }
+    const double cps = npairs / best_s;
+    const double speedup = striped_best_s / best_s;
+    if (isa == widest) widest_speedup = speedup;
+    std::printf("%-10s %12.4f %16.0f %9.2fx\n", mera::align::isa_name(isa),
+                best_s, cps, speedup);
+    json.config(std::string("batch_") + mera::align::isa_name(isa));
+    json.metric("best_s", best_s);
+    json.metric("candidates_per_s", cps);
+    json.metric("speedup_vs_striped", speedup);
+  }
+  std::printf("(every tier's score/t_end stream is bit-identical to striped; "
+              "auto tier: %s)\n",
+              mera::align::isa_name(widest));
+  json.config("auto_tier_" + std::string(mera::align::isa_name(widest)));
+  json.metric("speedup_vs_striped", widest_speedup);
+
+  // On wide hosts the whole point is throughput: the widest tier must clear
+  // 2x per-pair striped, else the packing layer has regressed.
+  if (widest >= SwIsa::kAvx2 && widest_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FATAL: widest tier (%s) speedup %.2fx < 2x over per-pair "
+                 "striped on the multi-candidate workload\n",
+                 mera::align::isa_name(widest), widest_speedup);
+    return 1;
+  }
+
+  return json.write() ? 0 : 1;
+}

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "align/banded_sw.hpp"
+#include "align/batch_sw.hpp"
 #include "align/smith_waterman.hpp"
 #include "align/striped_sw.hpp"
 
@@ -84,6 +85,60 @@ void BM_StripedSW(benchmark::State& state) {
                           state.range(0) * state.range(1));
 }
 BENCHMARK(BM_StripedSW)->Args({101, 300})->Args({101, 1000})->Args({250, 1000});
+
+// Inter-candidate batch engine: N candidate windows scored in one flush,
+// one candidate per SIMD lane. Args = {qlen, tlen, n_candidates}; compare
+// items/s against BM_StripedSW at the same (qlen, tlen) to see the
+// cross-candidate packing win. Each tier is registered only if this host
+// supports it, so the suite is self-pruning on narrow machines.
+struct CandidateSet {
+  std::vector<std::uint8_t> q;
+  std::vector<std::vector<std::uint8_t>> ts;
+};
+
+CandidateSet make_candidates(std::size_t qlen, std::size_t tlen,
+                             std::size_t n) {
+  std::mt19937_64 rng(13);
+  CandidateSet cs;
+  const std::string qs = random_dna(rng, qlen);
+  cs.q = dna_codes(qs);
+  for (std::size_t c = 0; c < n; ++c) {
+    std::string body = qs;
+    for (std::size_t e = 0; e < qlen / 40 + 1; ++e)
+      body[rng() % body.size()] = "ACGT"[rng() & 3u];
+    const std::size_t flank = (tlen - qlen) / 2;
+    cs.ts.push_back(dna_codes(random_dna(rng, flank) + body +
+                              random_dna(rng, tlen - qlen - flank)));
+  }
+  return cs;
+}
+
+void batch_sw_tier(benchmark::State& state, SwIsa isa) {
+  if (!isa_supported(isa)) {
+    state.SkipWithError("ISA tier not supported on this host/build");
+    return;
+  }
+  const auto cs = make_candidates(static_cast<std::size_t>(state.range(0)),
+                                  static_cast<std::size_t>(state.range(1)),
+                                  static_cast<std::size_t>(state.range(2)));
+  for (auto _ : state) {
+    BatchSwScorer scorer(std::span<const std::uint8_t>(cs.q), Scoring{}, isa);
+    for (const auto& t : cs.ts) scorer.add(std::span<const std::uint8_t>(t));
+    benchmark::DoNotOptimize(scorer.flush());
+  }
+  // items = DP cells across the whole batch, comparable to BM_StripedSW.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * state.range(1) * state.range(2));
+}
+
+void BM_BatchSW_scalar(benchmark::State& s) { batch_sw_tier(s, SwIsa::kScalar); }
+void BM_BatchSW_sse2(benchmark::State& s) { batch_sw_tier(s, SwIsa::kSse2); }
+void BM_BatchSW_avx2(benchmark::State& s) { batch_sw_tier(s, SwIsa::kAvx2); }
+void BM_BatchSW_avx512(benchmark::State& s) { batch_sw_tier(s, SwIsa::kAvx512); }
+BENCHMARK(BM_BatchSW_scalar)->Args({101, 300, 24})->Args({101, 300, 64});
+BENCHMARK(BM_BatchSW_sse2)->Args({101, 300, 24})->Args({101, 300, 64});
+BENCHMARK(BM_BatchSW_avx2)->Args({101, 300, 24})->Args({101, 300, 64});
+BENCHMARK(BM_BatchSW_avx512)->Args({101, 300, 24})->Args({101, 300, 64});
 
 void BM_StripedProfileBuild(benchmark::State& state) {
   std::mt19937_64 rng(9);

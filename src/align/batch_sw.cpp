@@ -1,0 +1,272 @@
+#include "align/batch_sw.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "align/batch_sw_detail.hpp"
+
+namespace mera::align {
+
+namespace {
+
+/// Padding code for lanes past their target's end: never equal to a residue
+/// code, so padded columns can only score as mismatches (and are excluded
+/// from best/t_end tracking anyway).
+constexpr std::uint8_t kPadCode = 0xFF;
+
+// __builtin_cpu_supports needs a string literal, hence one probe per tier.
+#if defined(__x86_64__) || defined(__i386__)
+bool cpu_has_sse2() noexcept { return __builtin_cpu_supports("sse2"); }
+bool cpu_has_avx2() noexcept { return __builtin_cpu_supports("avx2"); }
+bool cpu_has_avx512() noexcept { return __builtin_cpu_supports("avx512bw"); }
+#else
+bool cpu_has_sse2() noexcept { return false; }
+bool cpu_has_avx2() noexcept { return false; }
+bool cpu_has_avx512() noexcept { return false; }
+#endif
+
+const detail::BatchKernel* kernel_for(SwIsa isa) noexcept {
+  switch (isa) {
+    case SwIsa::kSse2:
+      return detail::batch_kernel_sse2();
+    case SwIsa::kAvx2:
+      return detail::batch_kernel_avx2();
+    case SwIsa::kAvx512:
+      return detail::batch_kernel_avx512();
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+const char* isa_name(SwIsa isa) noexcept {
+  switch (isa) {
+    case SwIsa::kAuto:
+      return "auto";
+    case SwIsa::kScalar:
+      return "scalar";
+    case SwIsa::kSse2:
+      return "sse2";
+    case SwIsa::kAvx2:
+      return "avx2";
+    case SwIsa::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+std::optional<SwIsa> parse_isa(std::string_view name) noexcept {
+  if (name == "auto") return SwIsa::kAuto;
+  if (name == "scalar") return SwIsa::kScalar;
+  if (name == "sse2") return SwIsa::kSse2;
+  if (name == "avx2") return SwIsa::kAvx2;
+  if (name == "avx512") return SwIsa::kAvx512;
+  return std::nullopt;
+}
+
+bool isa_supported(SwIsa isa) noexcept {
+  switch (isa) {
+    case SwIsa::kAuto:
+    case SwIsa::kScalar:
+      return true;
+    case SwIsa::kSse2:
+      return kernel_for(isa) != nullptr && cpu_has_sse2();
+    case SwIsa::kAvx2:
+      return kernel_for(isa) != nullptr && cpu_has_avx2();
+    case SwIsa::kAvx512:
+      return kernel_for(isa) != nullptr && cpu_has_avx512();
+  }
+  return false;
+}
+
+SwIsa detect_isa() noexcept {
+  for (SwIsa isa : {SwIsa::kAvx512, SwIsa::kAvx2, SwIsa::kSse2})
+    if (isa_supported(isa)) return isa;
+  return SwIsa::kScalar;
+}
+
+SwIsa resolve_isa(SwIsa requested) {
+  SwIsa isa = requested;
+  if (isa == SwIsa::kAuto) {
+    // Re-read the environment on every resolve (not cached) so tests can
+    // setenv/unsetenv MERA_SW_ISA between scorer constructions.
+    if (const char* env = std::getenv("MERA_SW_ISA"); env && *env) {
+      const auto parsed = parse_isa(env);
+      if (!parsed)
+        throw std::invalid_argument(
+            std::string("MERA_SW_ISA: unknown ISA '") + env +
+            "' (expected auto|scalar|sse2|avx2|avx512)");
+      isa = *parsed;
+    }
+  }
+  if (isa == SwIsa::kAuto) return detect_isa();
+  if (!isa_supported(isa))
+    throw std::invalid_argument(
+        std::string("SW ISA '") + isa_name(isa) +
+        "' is not available (not compiled in or not supported by this CPU)");
+  return isa;
+}
+
+BatchSwScorer::BatchSwScorer(std::span<const std::uint8_t> query_codes,
+                             const Scoring& sc, SwIsa isa)
+    : query_(query_codes.begin(), query_codes.end()),
+      sc_(sc),
+      isa_(resolve_isa(isa)) {
+  bias_ = std::max(0, -sc_.mismatch);
+}
+
+std::size_t BatchSwScorer::add(std::span<const std::uint8_t> target_codes) {
+  offs_.push_back(pool_.size());
+  lens_.push_back(target_codes.size());
+  pool_.insert(pool_.end(), target_codes.begin(), target_codes.end());
+  return lens_.size() - 1;
+}
+
+std::vector<StripedResult> BatchSwScorer::flush() {
+  const std::size_t n = lens_.size();
+  std::vector<StripedResult> out(n);  // empty query/target lanes stay {0,0,0}
+
+  // Candidates worth scoring; everything else keeps the default result,
+  // matching StripedSmithWaterman::align on empty inputs.
+  std::vector<std::size_t> live;
+  if (!query_.empty())
+    for (std::size_t c = 0; c < n; ++c)
+      if (lens_[c] > 0) live.push_back(c);
+
+  const detail::BatchKernel* kernel =
+      isa_ == SwIsa::kScalar ? nullptr : kernel_for(isa_);
+  const std::span<const std::uint8_t> q(query_);
+
+  if (kernel == nullptr) {
+    for (std::size_t c : live)
+      out[c] = striped_scalar_score(
+          q, std::span<const std::uint8_t>(pool_.data() + offs_[c], lens_[c]),
+          sc_);
+    pool_.clear();
+    offs_.clear();
+    lens_.clear();
+    return out;
+  }
+
+  const int go = sc_.gap_open + sc_.gap_extend;
+  const int ge = sc_.gap_extend;
+
+  // 8-bit sweep over lane groups; saturated lanes queue for the 16-bit pass.
+  std::vector<std::size_t> escalate;
+  {
+    const std::size_t L = static_cast<std::size_t>(kernel->lanes8);
+    std::vector<std::size_t> len(L);
+    std::vector<int> best(L);
+    std::vector<std::size_t> t_end(L);
+    std::vector<std::uint8_t> sat(L);
+    for (std::size_t g = 0; g < live.size(); g += L) {
+      const std::size_t gn = std::min(L, live.size() - g);
+      std::fill(len.begin(), len.end(), std::size_t{0});
+      std::size_t nmax = 0;
+      for (std::size_t l = 0; l < gn; ++l) {
+        len[l] = lens_[live[g + l]];
+        nmax = std::max(nmax, len[l]);
+      }
+      tbuf8_.assign(nmax * L, kPadCode);
+      for (std::size_t l = 0; l < gn; ++l) {
+        const std::uint8_t* src = pool_.data() + offs_[live[g + l]];
+        for (std::size_t j = 0; j < len[l]; ++j) tbuf8_[j * L + l] = src[j];
+      }
+      std::fill(sat.begin(), sat.end(), std::uint8_t{0});
+      detail::BatchPass8Args args;
+      args.query = query_.data();
+      args.m = query_.size();
+      args.tbuf = tbuf8_.data();
+      args.len = len.data();
+      args.nmax = nmax;
+      args.match_bias = sc_.match + bias_;
+      args.mismatch_bias = sc_.mismatch + bias_;
+      args.bias = bias_;
+      args.gap_open_total = go;
+      args.gap_extend = ge;
+      args.best = best.data();
+      args.t_end = t_end.data();
+      args.saturated = sat.data();
+      kernel->pass8(args);
+      for (std::size_t l = 0; l < gn; ++l) {
+        const std::size_t c = live[g + l];
+        if (sat[l]) {
+          escalate.push_back(c);
+        } else {
+          out[c] = {best[l], t_end[l], false};
+        }
+      }
+    }
+  }
+
+  // 16-bit rescore of saturated candidates, same grouping scheme.
+  if (!escalate.empty()) {
+    const std::size_t L = static_cast<std::size_t>(kernel->lanes16);
+    std::vector<std::size_t> len(L);
+    std::vector<int> best(L);
+    std::vector<std::size_t> t_end(L);
+    std::vector<std::uint8_t> sat(L);
+    for (std::size_t g = 0; g < escalate.size(); g += L) {
+      const std::size_t gn = std::min(L, escalate.size() - g);
+      std::fill(len.begin(), len.end(), std::size_t{0});
+      std::size_t nmax = 0;
+      for (std::size_t l = 0; l < gn; ++l) {
+        len[l] = lens_[escalate[g + l]];
+        nmax = std::max(nmax, len[l]);
+      }
+      tbuf16_.assign(nmax * L, static_cast<std::int16_t>(kPadCode));
+      for (std::size_t l = 0; l < gn; ++l) {
+        const std::uint8_t* src = pool_.data() + offs_[escalate[g + l]];
+        for (std::size_t j = 0; j < len[l]; ++j)
+          tbuf16_[j * L + l] = static_cast<std::int16_t>(src[j]);
+      }
+      std::fill(sat.begin(), sat.end(), std::uint8_t{0});
+      detail::BatchPass16Args args;
+      args.query = query_.data();
+      args.m = query_.size();
+      args.tbuf = tbuf16_.data();
+      args.len = len.data();
+      args.nmax = nmax;
+      args.match = sc_.match;
+      args.mismatch = sc_.mismatch;
+      args.gap_open_total = go;
+      args.gap_extend = ge;
+      args.best = best.data();
+      args.t_end = t_end.data();
+      args.saturated = sat.data();
+      kernel->pass16(args);
+      for (std::size_t l = 0; l < gn; ++l) {
+        const std::size_t c = escalate[g + l];
+        if (sat[l]) {
+          // 16-bit saturation too (score >= 32767): exact scalar backstop.
+          out[c] = striped_scalar_score(
+              q,
+              std::span<const std::uint8_t>(pool_.data() + offs_[c], lens_[c]),
+              sc_);
+          out[c].used_16bit = true;
+        } else {
+          out[c] = {best[l], t_end[l], true};
+        }
+      }
+    }
+  }
+
+  pool_.clear();
+  offs_.clear();
+  lens_.clear();
+  return out;
+}
+
+std::vector<StripedResult> batch_sw_scores(
+    std::span<const std::uint8_t> query,
+    std::span<const std::vector<std::uint8_t>> targets, const Scoring& sc,
+    SwIsa isa) {
+  BatchSwScorer scorer(query, sc, isa);
+  for (const auto& t : targets) scorer.add(t);
+  return scorer.flush();
+}
+
+}  // namespace mera::align

@@ -1,0 +1,101 @@
+// Inter-candidate SIMD batch Smith-Waterman with runtime ISA dispatch.
+//
+// The striped kernel (striped_sw.hpp) vectorizes WITHIN one query/target
+// pair; this engine vectorizes ACROSS candidates: the many candidate windows
+// one read accumulates are packed one-per-lane into SSE2 / AVX2 / AVX-512
+// 8-bit vectors and scored in a single DP sweep (the way HMMER tiers its
+// dp_vector kernels and mmseqs2 drives smith_waterman_sse2 from Matcher).
+// Lanes whose 8-bit score saturates are transparently re-scored in 16-bit
+// lanes; a 16-bit-saturated lane falls back to the scalar reference.
+//
+// Contract: for every candidate, score, t_end (smallest-t_end tie-break) and
+// used_16bit are bit-identical to StripedSmithWaterman::align and to
+// striped_scalar_score, on every dispatch tier — property-tested by
+// tests/test_batch_sw.cpp across all tiers the host supports.
+//
+// Dispatch: the widest ISA the CPU supports is probed once per scorer
+// (cpuid via __builtin_cpu_supports); `MERA_SW_ISA` in the environment (or
+// --sw-isa on the CLI) pins a specific tier for testing. Under
+// MERA_FORCE_SCALAR_SW builds only the scalar tier exists.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "align/scoring.hpp"
+#include "align/striped_sw.hpp"
+
+namespace mera::align {
+
+/// Dispatch tiers, narrowest to widest. kAuto resolves to the widest tier
+/// both compiled in and supported by the running CPU (or to the MERA_SW_ISA
+/// environment override when set).
+enum class SwIsa : std::uint8_t { kAuto = 0, kScalar, kSse2, kAvx2, kAvx512 };
+
+/// "auto" / "scalar" / "sse2" / "avx2" / "avx512".
+[[nodiscard]] const char* isa_name(SwIsa isa) noexcept;
+/// Inverse of isa_name; nullopt for anything else.
+[[nodiscard]] std::optional<SwIsa> parse_isa(std::string_view name) noexcept;
+/// Tier is compiled into this binary AND supported by the running CPU.
+/// kScalar and kAuto are always supported.
+[[nodiscard]] bool isa_supported(SwIsa isa) noexcept;
+/// Widest supported tier on this host (kScalar when no SIMD tier is).
+[[nodiscard]] SwIsa detect_isa() noexcept;
+/// Resolve `requested` to a concrete tier: an explicit tier is validated and
+/// returned; kAuto honours MERA_SW_ISA when set, else detect_isa(). Throws
+/// std::invalid_argument on an unknown MERA_SW_ISA value or a tier this
+/// CPU/build does not support — forcing a tier is for testing, and a forced
+/// tier that silently degrades would test nothing.
+[[nodiscard]] SwIsa resolve_isa(SwIsa requested);
+
+/// Scores one query against a batch of independent candidate targets.
+///
+///   BatchSwScorer scorer(query_codes, scoring);     // per oriented query
+///   for (cand : candidates) scorer.add(cand.window_codes);
+///   const auto results = scorer.flush();            // insertion order
+///
+/// flush() packs pending candidates into lane groups of the resolved tier's
+/// width and returns one StripedResult per candidate. add/flush can be
+/// repeated; the scorer holds no per-target state between flushes.
+class BatchSwScorer {
+ public:
+  explicit BatchSwScorer(std::span<const std::uint8_t> query_codes,
+                         const Scoring& sc = {}, SwIsa isa = SwIsa::kAuto);
+
+  /// Enqueue one candidate target (codes are copied); returns its index in
+  /// the batch, which is its index into flush()'s result vector.
+  std::size_t add(std::span<const std::uint8_t> target_codes);
+
+  /// Score every pending candidate and clear the queue. Results are in
+  /// add() order and bit-identical to StripedSmithWaterman::align per pair.
+  [[nodiscard]] std::vector<StripedResult> flush();
+
+  [[nodiscard]] std::size_t pending() const noexcept { return lens_.size(); }
+  [[nodiscard]] std::size_t query_len() const noexcept { return query_.size(); }
+  [[nodiscard]] const Scoring& scoring() const noexcept { return sc_; }
+  /// The concrete tier this scorer dispatches to (never kAuto).
+  [[nodiscard]] SwIsa isa() const noexcept { return isa_; }
+
+ private:
+  std::vector<std::uint8_t> query_;
+  Scoring sc_;
+  SwIsa isa_;
+  int bias_ = 0;
+  // Pending candidates: concatenated codes + per-candidate extents.
+  std::vector<std::uint8_t> pool_;
+  std::vector<std::size_t> offs_, lens_;
+  // Lane-group scratch, reused across flushes.
+  std::vector<std::uint8_t> tbuf8_;
+  std::vector<std::int16_t> tbuf16_;
+};
+
+/// One-shot convenience over BatchSwScorer for `query` vs each of `targets`.
+[[nodiscard]] std::vector<StripedResult> batch_sw_scores(
+    std::span<const std::uint8_t> query,
+    std::span<const std::vector<std::uint8_t>> targets, const Scoring& sc = {},
+    SwIsa isa = SwIsa::kAuto);
+
+}  // namespace mera::align

@@ -1,0 +1,66 @@
+// AVX2 tier of the batch scorer: 32 candidates per 8-bit group, 16 per
+// 16-bit group. This TU alone is compiled with -mavx2 (set in
+// src/CMakeLists.txt when the compiler supports it); the dispatcher only
+// calls in after __builtin_cpu_supports("avx2") says the host can run it.
+#include "align/batch_sw_detail.hpp"
+
+#if defined(__AVX2__) && !defined(MERA_FORCE_SCALAR_SW)
+
+#include <immintrin.h>
+
+#include "align/batch_sw_kernel.hpp"
+
+namespace mera::align::detail {
+namespace {
+
+struct Avx2Traits {
+  using V = __m256i;
+  static constexpr int kLanes8 = 32;
+  static constexpr int kLanes16 = 16;
+
+  static V zero() { return _mm256_setzero_si256(); }
+  static V load(const void* p) {
+    return _mm256_loadu_si256(static_cast<const __m256i*>(p));
+  }
+  static void store(void* p, V v) {
+    _mm256_storeu_si256(static_cast<__m256i*>(p), v);
+  }
+
+  static V set1_u8(std::uint8_t x) {
+    return _mm256_set1_epi8(static_cast<char>(x));
+  }
+  static V adds_u8(V a, V b) { return _mm256_adds_epu8(a, b); }
+  static V subs_u8(V a, V b) { return _mm256_subs_epu8(a, b); }
+  static V max_u8(V a, V b) { return _mm256_max_epu8(a, b); }
+  static V sel_eq8(V t, V q, V a, V b) {
+    return _mm256_blendv_epi8(b, a, _mm256_cmpeq_epi8(t, q));
+  }
+
+  static V set1_i16(std::int16_t x) { return _mm256_set1_epi16(x); }
+  static V adds_i16(V a, V b) { return _mm256_adds_epi16(a, b); }
+  static V subs_i16(V a, V b) { return _mm256_subs_epi16(a, b); }
+  static V max_i16(V a, V b) { return _mm256_max_epi16(a, b); }
+  static V sel_eq16(V t, V q, V a, V b) {
+    // cmpeq_epi16 yields all-ones / all-zero bytes per element, so the
+    // byte-granular blend selects whole 16-bit elements.
+    return _mm256_blendv_epi8(b, a, _mm256_cmpeq_epi16(t, q));
+  }
+};
+
+const BatchKernel kKernel = {Avx2Traits::kLanes8, Avx2Traits::kLanes16,
+                             &batch_pass8<Avx2Traits>,
+                             &batch_pass16<Avx2Traits>};
+
+}  // namespace
+
+const BatchKernel* batch_kernel_avx2() noexcept { return &kKernel; }
+
+}  // namespace mera::align::detail
+
+#else  // !__AVX2__ || MERA_FORCE_SCALAR_SW
+
+namespace mera::align::detail {
+const BatchKernel* batch_kernel_avx2() noexcept { return nullptr; }
+}  // namespace mera::align::detail
+
+#endif

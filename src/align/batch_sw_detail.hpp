@@ -1,0 +1,69 @@
+// Internal plumbing for the inter-candidate batch SW engine: the argument
+// blocks the per-ISA translation units fill in, and the function table the
+// dispatcher selects at runtime. Nothing here is part of the public API —
+// include batch_sw.hpp instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mera::align::detail {
+
+/// One 8-bit lane-group pass: scores `lanes8` candidates against the shared
+/// query in saturating unsigned arithmetic (values biased by `bias`, exactly
+/// like the striped kernel's 8-bit pass, so saturation — and therefore
+/// used_16bit — is bit-identical per pair).
+struct BatchPass8Args {
+  const std::uint8_t* query = nullptr;  ///< shared query codes, length m
+  std::size_t m = 0;
+  /// Interleaved targets: tbuf[j * lanes + l] = code of candidate l at
+  /// column j, padded with 0xFF (never equal to a residue code) past len[l].
+  const std::uint8_t* tbuf = nullptr;
+  const std::size_t* len = nullptr;  ///< per-lane target length
+  std::size_t nmax = 0;              ///< max(len), columns in tbuf
+  int match_bias = 0;     ///< scoring.match + bias   (fits u8)
+  int mismatch_bias = 0;  ///< scoring.mismatch + bias (>= 0 by construction)
+  int bias = 0;           ///< max(0, -scoring.mismatch)
+  int gap_open_total = 0;  ///< gap_open + gap_extend
+  int gap_extend = 0;
+  // Outputs, one per lane. Lanes with len[l] == 0 are left untouched.
+  int* best = nullptr;           ///< best score (exact unless saturated)
+  std::size_t* t_end = nullptr;  ///< smallest column achieving best
+  std::uint8_t* saturated = nullptr;  ///< best >= 255 - bias: rerun in 16-bit
+};
+
+/// One 16-bit lane-group pass for candidates whose 8-bit lane saturated.
+/// Signed arithmetic with an explicit zero floor, mirroring striped_i16.
+struct BatchPass16Args {
+  const std::uint8_t* query = nullptr;
+  std::size_t m = 0;
+  /// Interleaved targets as int16 codes, padded with 0xFF past len[l].
+  const std::int16_t* tbuf = nullptr;
+  const std::size_t* len = nullptr;
+  std::size_t nmax = 0;
+  int match = 0;
+  int mismatch = 0;
+  int gap_open_total = 0;
+  int gap_extend = 0;
+  int* best = nullptr;
+  std::size_t* t_end = nullptr;
+  std::uint8_t* saturated = nullptr;  ///< best >= 32767: scalar rerun
+};
+
+/// Per-ISA function table. Each per-ISA TU exposes its table when the build
+/// compiled that tier in, nullptr otherwise; the dispatcher in batch_sw.cpp
+/// picks one per resolved SwIsa.
+struct BatchKernel {
+  int lanes8 = 0;   ///< candidates per 8-bit group (16 / 32 / 64)
+  int lanes16 = 0;  ///< candidates per 16-bit group (8 / 16 / 32)
+  void (*pass8)(const BatchPass8Args&) = nullptr;
+  void (*pass16)(const BatchPass16Args&) = nullptr;
+};
+
+/// Compiled-in kernels, or nullptr when the toolchain/build excludes the
+/// tier (non-x86, missing -mavx2/-mavx512bw support, MERA_FORCE_SCALAR_SW).
+const BatchKernel* batch_kernel_sse2() noexcept;
+const BatchKernel* batch_kernel_avx2() noexcept;
+const BatchKernel* batch_kernel_avx512() noexcept;
+
+}  // namespace mera::align::detail

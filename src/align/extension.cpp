@@ -5,6 +5,34 @@
 
 namespace mera::align {
 
+namespace {
+
+/// Target window implied by a seed: the query's projected span on the seed
+/// diagonal, padded by window_pad and clipped to the target. begin >= end
+/// means no window (query projects entirely off the target).
+struct Window {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+Window project_window(std::size_t m, const seq::PackedSeq& target,
+                      std::size_t q_off, std::size_t t_off,
+                      std::size_t window_pad) {
+  // diag0 = target position where query base 0 lands (may be negative when
+  // the query hangs off the target's start).
+  const std::ptrdiff_t diag0 = static_cast<std::ptrdiff_t>(t_off) -
+                               static_cast<std::ptrdiff_t>(q_off);
+  const auto pad = static_cast<std::ptrdiff_t>(window_pad);
+  Window w;
+  w.begin = static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, diag0 - pad));
+  w.end = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+      diag0 + static_cast<std::ptrdiff_t>(m) + pad, 0,
+      static_cast<std::ptrdiff_t>(target.size())));
+  return w;
+}
+
+}  // namespace
+
 Extension extend_seed(std::span<const std::uint8_t> query,
                       const seq::PackedSeq& target, std::size_t q_off,
                       std::size_t t_off, int k, const ExtensionConfig& cfg,
@@ -14,27 +42,17 @@ Extension extend_seed(std::span<const std::uint8_t> query,
   const std::size_t m = query.size();
   if (m == 0 || target.empty() || k <= 0) return ext;
 
-  // Project the query onto the target via the seed diagonal and pad.
-  // diag0 = target position where query base 0 lands (may be negative when
-  // the query hangs off the target's start).
-  const std::ptrdiff_t diag0 = static_cast<std::ptrdiff_t>(t_off) -
-                               static_cast<std::ptrdiff_t>(q_off);
-  const auto pad = static_cast<std::ptrdiff_t>(cfg.window_pad);
-  const auto proj_begin =
-      static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, diag0 - pad));
-  const auto proj_end = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
-      diag0 + static_cast<std::ptrdiff_t>(m) + pad, 0,
-      static_cast<std::ptrdiff_t>(target.size())));
-  ext.window_begin = proj_begin;
-  ext.window_end = proj_end;
-  if (proj_begin >= proj_end) return ext;
+  const Window w = project_window(m, target, q_off, t_off, cfg.window_pad);
+  ext.window_begin = w.begin;
+  ext.window_end = w.end;
+  if (w.begin >= w.end) return ext;
 
-  const auto window = dna_codes(target, proj_begin, proj_end - proj_begin);
+  const auto window = dna_codes(target, w.begin, w.end - w.begin);
   switch (cfg.kernel) {
     case SwKernel::kBanded: {
       // The seed lies on diagonal (t_off - proj_begin) - q_off within the
       // window; band half-width = window_pad covers the padding budget.
-      const auto diag = static_cast<std::ptrdiff_t>(t_off - proj_begin) -
+      const auto diag = static_cast<std::ptrdiff_t>(t_off - w.begin) -
                         static_cast<std::ptrdiff_t>(q_off);
       ext.aln = banded_smith_waterman(query, window, diag,
                                       std::max<std::size_t>(cfg.window_pad, 8),
@@ -57,13 +75,79 @@ Extension extend_seed(std::span<const std::uint8_t> query,
       ext.aln = smith_waterman(query, window, cfg.scoring);
       break;
     }
+    case SwKernel::kBatch: {
+      // Single-candidate route through the batch engine: same screen
+      // semantics as kStriped, scores proven bit-identical by the tier-sweep
+      // equivalence tests. Callers with many candidates should prefer
+      // extend_candidates, which actually fills the SIMD lanes.
+      BatchSwScorer scorer(query, cfg.scoring, cfg.isa);
+      scorer.add(window);
+      const StripedResult sr = scorer.flush().front();
+      if (sr.score < screen_min_score) {
+        ext.aln.score = sr.score;
+        return ext;
+      }
+      ext.aln = smith_waterman(query, window, cfg.scoring);
+      break;
+    }
     case SwKernel::kFullDP:
       ext.aln = smith_waterman(query, window, cfg.scoring);
       break;
   }
-  ext.aln.t_begin += proj_begin;
-  ext.aln.t_end += proj_begin;
+  ext.aln.t_begin += w.begin;
+  ext.aln.t_end += w.begin;
   return ext;
+}
+
+std::vector<Extension> extend_candidates(std::span<const std::uint8_t> query,
+                                         std::span<const SeedCandidate> cands,
+                                         int k, const ExtensionConfig& cfg,
+                                         int screen_min_score) {
+  std::vector<Extension> out(cands.size());
+  if (cands.empty()) return out;
+
+  if (cfg.kernel != SwKernel::kBatch) {
+    for (std::size_t c = 0; c < cands.size(); ++c)
+      out[c] = extend_seed(query, *cands[c].target, cands[c].q_off,
+                           cands[c].t_off, k, cfg, screen_min_score);
+    return out;
+  }
+
+  const std::size_t m = query.size();
+  BatchSwScorer scorer(query, cfg.scoring, cfg.isa);
+
+  // Project every candidate's window and enqueue the live ones. `slot[c]`
+  // is the candidate's lane index in the flush, or npos when extend_seed
+  // would have bailed before scoring (empty inputs / empty window).
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> slot(cands.size(), kNone);
+  std::vector<std::vector<std::uint8_t>> windows(cands.size());
+  for (std::size_t c = 0; c < cands.size(); ++c) {
+    const seq::PackedSeq& target = *cands[c].target;
+    if (m == 0 || target.empty() || k <= 0) continue;
+    const Window w =
+        project_window(m, target, cands[c].q_off, cands[c].t_off,
+                       cfg.window_pad);
+    out[c].window_begin = w.begin;
+    out[c].window_end = w.end;
+    if (w.begin >= w.end) continue;
+    windows[c] = dna_codes(target, w.begin, w.end - w.begin);
+    slot[c] = scorer.add(windows[c]);
+  }
+
+  const std::vector<StripedResult> screened = scorer.flush();
+  for (std::size_t c = 0; c < cands.size(); ++c) {
+    if (slot[c] == kNone) continue;
+    const StripedResult& sr = screened[slot[c]];
+    if (sr.score < screen_min_score) {
+      out[c].aln.score = sr.score;  // screened out, same as extend_seed
+      continue;
+    }
+    out[c].aln = smith_waterman(query, windows[c], cfg.scoring);
+    out[c].aln.t_begin += out[c].window_begin;
+    out[c].aln.t_end += out[c].window_begin;
+  }
+  return out;
 }
 
 }  // namespace mera::align

@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "align/banded_sw.hpp"
+#include "align/batch_sw.hpp"
 #include "align/smith_waterman.hpp"
 #include "align/striped_sw.hpp"
 #include "seq/packed_seq.hpp"
@@ -31,6 +33,11 @@ enum class SwKernel : std::uint8_t {
   /// scoring below the caller's report threshold are rejected without a
   /// traceback, survivors re-run the full DP for an identical alignment.
   kStriped,
+  /// Inter-candidate batch SIMD score pass (batch_sw) as a pre-screen: all of
+  /// a query's candidate windows are packed one-per-lane and screened in one
+  /// DP sweep on the widest available ISA (see ExtensionConfig::isa).
+  /// Screening decisions and scores are bit-identical to kStriped.
+  kBatch,
 };
 
 struct ExtensionConfig {
@@ -40,6 +47,9 @@ struct ExtensionConfig {
   std::size_t window_pad = 16;
   /// In-window alignment kernel.
   SwKernel kernel = SwKernel::kFullDP;
+  /// Dispatch tier for SwKernel::kBatch (kAuto = MERA_SW_ISA env override or
+  /// the widest the CPU supports). Ignored by the other kernels.
+  SwIsa isa = SwIsa::kAuto;
 };
 
 struct Extension {
@@ -62,5 +72,24 @@ struct Extension {
     std::size_t q_off, std::size_t t_off, int k,
     const ExtensionConfig& cfg = {}, int screen_min_score = 0,
     const StripedSmithWaterman* striped_profile = nullptr);
+
+/// One buffered candidate extension for extend_candidates: the seed's target
+/// sequence plus the query/target offsets that fix its diagonal. `target`
+/// must outlive the extend_candidates call.
+struct SeedCandidate {
+  const seq::PackedSeq* target = nullptr;
+  std::size_t q_off = 0;
+  std::size_t t_off = 0;
+};
+
+/// Batch form of extend_seed: extend one query against many candidates at
+/// once, screening every window in a single inter-candidate SIMD sweep
+/// (SwKernel::kBatch; other kernels fall back to per-candidate extend_seed).
+/// Results are positionally parallel to `candidates` and bit-identical to
+/// calling extend_seed on each candidate with the same config.
+[[nodiscard]] std::vector<Extension> extend_candidates(
+    std::span<const std::uint8_t> query,
+    std::span<const SeedCandidate> candidates, int k,
+    const ExtensionConfig& cfg = {}, int screen_min_score = 0);
 
 }  // namespace mera::align

@@ -5,12 +5,15 @@
 
 #include "align/smith_waterman.hpp"
 
-#if defined(__SSE2__)
+#if defined(__SSE2__) && !defined(MERA_FORCE_SCALAR_SW)
 #include <emmintrin.h>
 #define MERA_SSW_SIMD 1
 // std::vector<__m128i> is the natural container for the striped rows; GCC
 // warns that the alignment attribute is ignored in the template argument,
 // which is harmless here (allocation is 16B-aligned on x86-64 malloc).
+// push/pop so the suppression covers exactly this TU's striped code, not
+// whatever else the build happens to pull in after it.
+#pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wignored-attributes"
 #else
 #define MERA_SSW_SIMD 0
@@ -201,11 +204,11 @@ Pass16Result striped_i16(std::span<const std::uint8_t> target,
 
 #endif  // MERA_SSW_SIMD
 
-#if !MERA_SSW_SIMD
-/// Scalar fallback with identical semantics (score + end column).
-StripedResult scalar_score(std::span<const std::uint8_t> query,
-                           std::span<const std::uint8_t> target,
-                           const Scoring& sc) {
+}  // namespace
+
+StripedResult striped_scalar_score(std::span<const std::uint8_t> query,
+                                   std::span<const std::uint8_t> target,
+                                   const Scoring& sc) {
   StripedResult r;
   const std::size_t m = query.size(), n = target.size();
   if (m == 0 || n == 0) return r;
@@ -222,17 +225,20 @@ StripedResult scalar_score(std::span<const std::uint8_t> query,
       Fv[j] = std::max(Fv[j] - ge, Hprev[j] - go);
       const int diag = Hprev[j - 1] + sc.substitution(query[i - 1], target[j - 1]);
       H[j] = std::max({0, diag, E, Fv[j]});
+      // Tie-break contract: among cells with the best score, the smallest
+      // t_end wins. The row-major scan must therefore keep shrinking t_end
+      // on equal-score cells in later rows, not just take the first best
+      // cell it happens to visit (which is NOT the smallest column).
       if (H[j] > r.score) {
         r.score = H[j];
+        r.t_end = j - 1;
+      } else if (H[j] == r.score && r.score > 0 && j - 1 < r.t_end) {
         r.t_end = j - 1;
       }
     }
   }
   return r;
 }
-#endif  // !MERA_SSW_SIMD
-
-}  // namespace
 
 StripedResult StripedSmithWaterman::align(
     std::span<const std::uint8_t> target_codes) const {
@@ -247,7 +253,8 @@ StripedResult StripedSmithWaterman::align(
       striped_i16(target_codes, profile16_.data(), seglen16_, go, ge);
   return {p16.score, p16.t_end, true};
 #else
-  return scalar_score(std::span<const std::uint8_t>(query_), target_codes, sc_);
+  return striped_scalar_score(std::span<const std::uint8_t>(query_),
+                              target_codes, sc_);
 #endif
 }
 
@@ -257,3 +264,7 @@ StripedResult StripedSmithWaterman::align(std::string_view target) const {
 }
 
 }  // namespace mera::align
+
+#if MERA_SSW_SIMD
+#pragma GCC diagnostic pop
+#endif

@@ -21,9 +21,20 @@ namespace mera::align {
 struct StripedResult {
   int score = 0;
   /// 0-based target position of the last column of the best alignment.
+  /// Tie-break contract (pinned, identical on every kernel and ISA tier):
+  /// among all cells achieving the best score, the SMALLEST t_end wins.
   std::size_t t_end = 0;
   bool used_16bit = false;  ///< 8-bit pass saturated and was retried
 };
+
+/// Scalar reference for the score-only kernels: exact local-alignment score
+/// plus the pinned smallest-t_end tie-break. Always compiled — every SIMD
+/// tier (striped SSE2, batch SSE2/AVX2/AVX-512) is property-tested against
+/// it — and it is the fallback the kernels use on non-SSE2 builds and under
+/// MERA_FORCE_SCALAR_SW.
+[[nodiscard]] StripedResult striped_scalar_score(
+    std::span<const std::uint8_t> query, std::span<const std::uint8_t> target,
+    const Scoring& sc = {});
 
 /// Reusable query profile: build once per query, align against many targets
 /// (exactly how the aligning phase uses it — one read, many candidates).

@@ -74,6 +74,14 @@ class RankAligner {
     // oriented query (lazily, on the first candidate — most junk reads never
     // produce one) and reused across every candidate this strand probes.
     std::optional<align::StripedSmithWaterman> striped;
+    // kBatch mode: candidates are buffered across the whole strand and
+    // screened in one inter-candidate SIMD sweep after the seed loop, so the
+    // lanes actually fill. Emission happens in buffer order, which is the
+    // per-candidate emission order — output is bit-identical to kStriped.
+    const bool batch_mode =
+        sh_.cfg.extension.kernel == align::SwKernel::kBatch;
+    std::vector<align::SeedCandidate> pending;
+    std::vector<std::uint32_t> pending_target_ids;
 
     bool exact_done = false;
     bool exact_tried = false;
@@ -130,6 +138,14 @@ class RankAligner {
             (static_cast<std::uint64_t>(diag + (1ll << 28)) >> 3);
         if (!seen_.insert(key).second) continue;
         const Target& t = fetch_target_cached(h.target_id);
+        if (batch_mode) {
+          // Target sequences live in the session-lifetime TargetStore, so
+          // holding pointers across the seed loop is safe.
+          pending.push_back({&t.seq, q_off, h.t_pos});
+          pending_target_ids.push_back(h.target_id);
+          ++st_.sw_calls;
+          continue;
+        }
         if (sh_.cfg.extension.kernel == align::SwKernel::kStriped && !striped)
           striped.emplace(std::span<const std::uint8_t>(qcodes),
                           sh_.cfg.extension.scoring);
@@ -154,6 +170,30 @@ class RankAligner {
         }
       }
     });
+    if (!pending.empty()) {
+      // (Exact-match success short-circuits before any candidate is
+      // buffered, so a non-empty queue implies the fast path didn't fire.)
+      const auto exts = align::extend_candidates(
+          std::span<const std::uint8_t>(qcodes), pending, k,
+          sh_.cfg.extension, min_score_);
+      for (std::size_t c = 0; c < exts.size(); ++c) {
+        const align::Extension& ext = exts[c];
+        if (ext.aln.score >= min_score_ && !ext.aln.empty()) {
+          AlignmentRecord rec;
+          rec.query_name = name;
+          rec.target_id = pending_target_ids[c];
+          rec.reverse = reverse;
+          rec.score = ext.aln.score;
+          rec.q_begin = ext.aln.q_begin;
+          rec.q_end = ext.aln.q_end;
+          rec.t_begin = ext.aln.t_begin;
+          rec.t_end = ext.aln.t_end;
+          rec.cigar = ext.aln.cigar.to_string();
+          rec.mismatches = ext.aln.mismatches;
+          emit(std::move(rec));
+        }
+      }
+    }
     return exact_done;
   }
 

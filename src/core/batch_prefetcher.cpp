@@ -1,7 +1,10 @@
 #include "core/batch_prefetcher.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
 #include "seq/fastq.hpp"
@@ -9,14 +12,37 @@
 
 namespace mera::core {
 
+namespace {
+
+bool iends_with(std::string_view s, std::string_view suffix) {
+  if (s.size() < suffix.size()) return false;
+  const std::string_view tail = s.substr(s.size() - suffix.size());
+  return std::equal(tail.begin(), tail.end(), suffix.begin(),
+                    [](char a, char b) {
+                      return std::tolower(static_cast<unsigned char>(a)) == b;
+                    });
+}
+
+}  // namespace
+
+bool looks_like_fastq(std::string_view path) {
+  return iends_with(path, ".fastq") || iends_with(path, ".fq");
+}
+
 std::vector<seq::SeqRecord> load_read_batch(const std::string& path) {
-  if (path.ends_with(".fastq") || path.ends_with(".fq"))
-    return seq::read_fastq(path);
-  seq::SeqDBReader db(path);
-  std::vector<seq::SeqRecord> records;
-  records.reserve(db.size());
-  for (std::size_t i = 0; i < db.size(); ++i) records.push_back(db.read(i));
-  return records;
+  if (looks_like_fastq(path)) return seq::read_fastq(path);
+  try {
+    seq::SeqDBReader db(path);
+    std::vector<seq::SeqRecord> records;
+    records.reserve(db.size());
+    for (std::size_t i = 0; i < db.size(); ++i) records.push_back(db.read(i));
+    return records;
+  } catch (const std::exception& e) {
+    throw std::runtime_error("load_read_batch: '" + path +
+                             "' failed to load as SeqDB (extension does not "
+                             "look like FASTQ): " +
+                             e.what());
+  }
 }
 
 BatchPrefetcher::BatchPrefetcher(exec::ThreadPool& pool,

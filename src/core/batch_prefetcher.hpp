@@ -34,8 +34,15 @@ namespace detail {
 }
 }  // namespace detail
 
-/// Load one reads-batch file into memory: FASTQ (.fastq/.fq) is parsed
-/// directly, anything else is read as SeqDB.
+/// True when `path`'s extension says FASTQ (.fastq/.fq, case-insensitive —
+/// .FASTQ and .Fq are common in the wild and must not be misrouted to the
+/// SeqDB reader). The single format sniff every reads-file consumer shares.
+[[nodiscard]] bool looks_like_fastq(std::string_view path);
+
+/// Load one reads-batch file into memory: FASTQ (per looks_like_fastq) is
+/// parsed directly, anything else is read as SeqDB. A SeqDB parse failure is
+/// reported with the path and the format guess, so a mis-named file doesn't
+/// surface as a bare SeqDB error.
 [[nodiscard]] std::vector<seq::SeqRecord> load_read_batch(
     const std::string& path);
 

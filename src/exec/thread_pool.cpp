@@ -1,6 +1,7 @@
 #include "exec/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 namespace mera::exec {
@@ -13,17 +14,25 @@ ThreadPool::ThreadPool(int nthreads) {
 }
 
 ThreadPool::~ThreadPool() {
+  request_stop();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::request_stop() {
   {
     const std::scoped_lock lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
     const std::scoped_lock lk(mu_);
+    if (stop_)
+      throw std::logic_error(
+          "ThreadPool::submit after stop: workers may already have observed "
+          "an empty queue and exited, so the task could never run");
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();

@@ -32,8 +32,16 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue one task; runs on some worker in FIFO order.
+  /// Enqueue one task; runs on some worker in FIFO order. Throws
+  /// std::logic_error once the pool is stopping: a post-stop task could race
+  /// a worker that already observed stop-with-empty-queue and exited, and a
+  /// silently dropped task is the worst possible outcome for callers that
+  /// count on the destructor's drain guarantee.
   void submit(std::function<void()> task);
+
+  /// Begin shutdown: workers finish the queued backlog and exit; further
+  /// submit() calls throw. Idempotent; the destructor calls it implicitly.
+  void request_stop();
 
   [[nodiscard]] int size() const noexcept {
     return static_cast<int>(workers_.size());

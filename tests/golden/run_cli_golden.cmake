@@ -6,9 +6,10 @@
 #   WORKDIR - scratch directory for this run
 #
 # Scenarios:
-#   1. single batch, one run per --sw kernel (full/banded/striped): all three
-#      must produce the SAME golden SAM — the banded and striped kernels are
-#      exact over their windows, so kernel choice must not change output
+#   1. single batch, one run per --sw kernel (full/banded/striped/batch): all
+#      four must produce the SAME golden SAM — the banded, striped and batch
+#      kernels are exact over their windows, so kernel choice must not change
+#      output; --sw batch additionally runs once per pinned --sw-isa tier
 #   2. multi batch:   --reads reads_a --reads reads_b (one index, two batches)
 #                     -> the SAME record set, since per-read results depend
 #                     only on the prebuilt index, not on batch boundaries
@@ -70,8 +71,8 @@ function(check_sam produced label)
   check_sam_against(${produced} ${GOLDEN} "${label}")
 endfunction()
 
-# --- 1. single batch, all three SW kernel selectors --------------------------
-foreach(sw full banded striped)
+# --- 1. single batch, all four SW kernel selectors ---------------------------
+foreach(sw full banded striped batch)
   execute_process(
     COMMAND ${CLI}
       --targets ${WORKDIR}/contigs.fa
@@ -86,6 +87,51 @@ foreach(sw full banded striped)
   endif()
   check_sam(${WORKDIR}/out_${sw}.sam "single-batch --sw ${sw}")
 endforeach()
+
+# The batch engine pinned to its scalar tier must still hit the golden bytes
+# (the SIMD tiers are covered by the loop above via auto-dispatch; scalar is
+# the one tier auto never picks on SIMD-capable CI hosts).
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --out ${WORKDIR}/out_batch_scalar.sam
+    --k 31 --ranks 4 --ppn 2 --no-permute --sw batch --sw-isa scalar
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--sw batch --sw-isa scalar exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+check_sam(${WORKDIR}/out_batch_scalar.sam "single-batch --sw batch --sw-isa scalar")
+
+# --sw-isa validation: unknown tier names are usage errors (exit 2 + usage),
+# and the flag is rejected outside --sw batch runs.
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --k 31 --ranks 4 --ppn 2 --sw batch --sw-isa mmx
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "--sw-isa mmx exited ${rc}, expected usage error 2")
+endif()
+if(NOT err MATCHES "sw-isa" OR NOT err MATCHES "meraligner --targets")
+  message(FATAL_ERROR "--sw-isa mmx did not print the usage message:\n${err}")
+endif()
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --k 31 --ranks 4 --ppn 2 --sw striped --sw-isa scalar
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2 OR NOT err MATCHES "requires --sw batch")
+  message(FATAL_ERROR "--sw-isa outside --sw batch was not rejected (rc=${rc}):\n${err}")
+endif()
 
 # The header must carry a spec-complete @PG line: program, version, and the
 # command line of the invocation that produced the file.

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -384,6 +385,51 @@ TEST(BatchPrefetch, FastqBatchesLoadDirectlyAndMatchSeqdbConversion) {
 
   std::remove(fastq.c_str());
   std::remove(sdb.c_str());
+}
+
+TEST(BatchPrefetch, FastqSniffIsCaseInsensitive) {
+  // Regression: '.FASTQ'/'.Fq' files fell through to the SeqDB reader and
+  // died with a misleading SeqDB parse error. The sniff is extension-only
+  // and must not care about case.
+  EXPECT_TRUE(core::looks_like_fastq("reads.fastq"));
+  EXPECT_TRUE(core::looks_like_fastq("reads.FASTQ"));
+  EXPECT_TRUE(core::looks_like_fastq("READS.FaStQ"));
+  EXPECT_TRUE(core::looks_like_fastq("reads.fq"));
+  EXPECT_TRUE(core::looks_like_fastq("reads.Fq"));
+  EXPECT_FALSE(core::looks_like_fastq("reads.sdb"));
+  EXPECT_FALSE(core::looks_like_fastq("reads.fastq.sdb"));
+  EXPECT_FALSE(core::looks_like_fastq("fq"));  // extension, not a basename
+
+  const auto w = make_workload(8'000, 0.4, /*seed=*/62);
+  const std::string upper = "test_async_batch_upper.FASTQ";
+  seq::write_fastq(upper, std::vector<SeqRecord>(w.reads.begin(),
+                                                 w.reads.end()));
+  const auto records = core::load_read_batch(upper);
+  ASSERT_EQ(records.size(), w.reads.size());
+  for (std::size_t i = 0; i < records.size(); ++i)
+    ASSERT_EQ(records[i], w.reads[i]) << "record " << i;
+  std::remove(upper.c_str());
+}
+
+TEST(BatchPrefetch, SeqdbFallbackErrorNamesPathAndFormatGuess) {
+  // A file that is neither FASTQ-named nor a SeqDB must fail with an error
+  // that says which file and what the loader guessed, not a bare SeqDB
+  // parse error.
+  const std::string bogus = "test_async_bogus_batch.txt";
+  {
+    std::ofstream out(bogus);
+    out << "this is not a SeqDB\n";
+  }
+  try {
+    (void)core::load_read_batch(bogus);
+    FAIL() << "expected load_read_batch to throw";
+  } catch (const std::exception& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(bogus), std::string::npos) << msg;
+    EXPECT_NE(msg.find("SeqDB"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("FASTQ"), std::string::npos) << msg;
+  }
+  std::remove(bogus.c_str());
 }
 
 TEST(BatchPrefetch, LoadErrorsSurfaceOnTheCallingThread) {

@@ -56,6 +56,32 @@ TEST(ThreadPool, DestructorDrainsEverySubmittedTask) {
   EXPECT_EQ(ran.load(), 128);
 }
 
+TEST(ThreadPool, SubmitAfterStopThrowsInsteadOfDroppingTheTask) {
+  // Regression: a submit() racing shutdown could enqueue a task after every
+  // worker had already observed stop-with-empty-queue and exited — silently
+  // dropped, violating the drain guarantee. Post-stop submission is now an
+  // error the caller can see.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i)
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.request_stop();
+  EXPECT_THROW(pool.submit([&ran] { ran.fetch_add(1); }), std::logic_error);
+  // request_stop is idempotent, and pre-stop tasks still drain.
+  pool.request_stop();
+}
+
+TEST(ThreadPool, PreStopTasksStillDrainAfterRequestStop) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i)
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    pool.request_stop();
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
 TEST(ThreadPool, TasksActuallyRunOffTheSubmittingThread) {
   ThreadPool pool(2);
   std::mutex mu;

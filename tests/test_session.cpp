@@ -234,6 +234,48 @@ TEST(Session, StripedBackendReportsIdenticalRecords) {
   for (std::size_t i = 0; i < r1.size(); ++i) EXPECT_EQ(r1[i], r2[i]);
 }
 
+TEST(Session, BatchBackendReportsIdenticalRecordsOnEveryIsaTier) {
+  // The inter-candidate batch engine must be a drop-in for the per-pair
+  // striped screen: same records, same number of SW screens, on every
+  // dispatch tier this host supports.
+  const auto w = make_workload(25'000, 1.2, /*error=*/0.01);
+  Runtime rt1(Topology(4, 2));
+  const auto ref1 = IndexedReference::build(rt1, w.contigs, small_index());
+
+  SessionConfig striped = small_session();
+  striped.exact_match = false;  // force every candidate through the SW kernel
+  striped.extension.kernel = SwKernel::kStriped;
+  AlignSession s1(ref1, striped);
+  VectorSink sink1(rt1.nranks());
+  const auto res1 = s1.align_batch(rt1, w.reads, sink1);
+  auto r1 = sink1.take();
+  sort_records(r1);
+  ASSERT_GT(r1.size(), 0u);
+
+  for (const mera::align::SwIsa isa :
+       {mera::align::SwIsa::kScalar, mera::align::SwIsa::kSse2,
+        mera::align::SwIsa::kAvx2, mera::align::SwIsa::kAvx512}) {
+    if (!mera::align::isa_supported(isa)) continue;
+    Runtime rt2(Topology(4, 2));
+    const auto ref2 = IndexedReference::build(rt2, w.contigs, small_index());
+    SessionConfig batch = striped;
+    batch.extension.kernel = SwKernel::kBatch;
+    batch.extension.isa = isa;
+    AlignSession s2(ref2, batch);
+    VectorSink sink2(rt2.nranks());
+    const auto res2 = s2.align_batch(rt2, w.reads, sink2);
+    auto r2 = sink2.take();
+    sort_records(r2);
+    ASSERT_EQ(r1.size(), r2.size()) << mera::align::isa_name(isa);
+    for (std::size_t i = 0; i < r1.size(); ++i)
+      ASSERT_EQ(r1[i], r2[i]) << mera::align::isa_name(isa) << " i=" << i;
+    // Batch mode buffers candidates instead of extending inline, but must
+    // screen exactly the same candidate set.
+    EXPECT_EQ(res1.stats.sw_calls, res2.stats.sw_calls)
+        << mera::align::isa_name(isa);
+  }
+}
+
 TEST(Session, BandedBackendAlignsTheSameReadSet) {
   const auto w = make_workload(25'000, 1.2);
   Runtime rt1(Topology(4, 2)), rt2(Topology(4, 2));

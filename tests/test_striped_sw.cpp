@@ -121,6 +121,42 @@ TEST(StripedSw, TEndPointsAtBestColumn) {
   EXPECT_EQ(res.t_end, 19u);  // alignment ends at t[19]
 }
 
+TEST(StripedSw, TiedScoresPickSmallestTEnd) {
+  // Regression: the SIMD passes take the FIRST best column; the scalar
+  // fallback used to take the first best cell in row-major order, which for
+  // tied scores is a later column — so t_end diverged across platforms. The
+  // pinned contract is smallest t_end, on every path.
+  const Scoring sc;
+  const std::string q = "ACGTAC";
+  const std::string t = q + q + q;  // best score ends at t[5], t[11], t[17]
+  const StripedSmithWaterman ssw(q, sc);
+  EXPECT_EQ(ssw.align(t).t_end, 5u);
+  const auto scalar = striped_scalar_score(
+      std::span<const std::uint8_t>(dna_codes(q)),
+      std::span<const std::uint8_t>(dna_codes(t)), sc);
+  EXPECT_EQ(scalar.score, sc.match * 6);
+  EXPECT_EQ(scalar.t_end, 5u);
+}
+
+TEST(StripedSw, ScalarReferenceMatchesSimdTEndOnRandomPairs) {
+  // The divergence regression, property-tested: score AND t_end must agree
+  // between the scalar reference and whatever path align() compiled to.
+  // Short targets + short queries make score ties common.
+  std::mt19937_64 rng(56);
+  const Scoring sc;
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string q = random_dna(rng, 1 + rng() % 12);
+    const std::string t = random_dna(rng, 1 + rng() % 40);
+    const auto qc = dna_codes(q);
+    const auto tc = dna_codes(t);
+    const StripedSmithWaterman ssw(std::span<const std::uint8_t>(qc), sc);
+    const auto simd = ssw.align(std::span<const std::uint8_t>(tc));
+    const auto scalar = striped_scalar_score(qc, tc, sc);
+    ASSERT_EQ(simd.score, scalar.score) << "q=" << q << " t=" << t;
+    ASSERT_EQ(simd.t_end, scalar.t_end) << "q=" << q << " t=" << t;
+  }
+}
+
 TEST(StripedSw, ProfileReuseAcrossManyTargets) {
   // One profile, many targets — the aligning-phase usage pattern.
   std::mt19937_64 rng(55);

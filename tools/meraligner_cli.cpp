@@ -53,6 +53,7 @@
 #include "cli_util.hpp"
 #include "core/align_session.hpp"
 #include "core/alignment_sink.hpp"
+#include "core/batch_prefetcher.hpp"
 #include "core/indexed_reference.hpp"
 #include "seq/fasta.hpp"
 #include "seq/seqdb.hpp"
@@ -65,7 +66,8 @@ constexpr const char* kUsage =
     "meraligner --targets contigs.fa --reads batch1.{fastq,sdb}\n"
     "           [--reads batch2.fastq ...] [--out out.sam] [--k 51]\n"
     "           [--ranks 8] [--ppn 4] [--S 1000] [--max-hits 32]\n"
-    "           [--fragment-len 1024] [--sw full|banded|striped]\n"
+    "           [--fragment-len 1024] [--sw full|banded|striped|batch]\n"
+    "           [--sw-isa auto|scalar|sse2|avx2|avx512]\n"
     "           [--no-exact] [--no-seed-cache] [--no-target-cache]\n"
     "           [--no-aggregation] [--no-permute] [--stats]\n"
     "           [--shards K] [--shard-by cost|bases] [--shard-parallel J]\n"
@@ -84,15 +86,34 @@ constexpr const char* kUsage =
     "--save-cache DIR snapshots the software caches after the last batch;\n"
     "--load-cache DIR warm-starts from such a snapshot (same reference,\n"
     "topology and cost model required). Warm runs emit the same SAM bytes\n"
-    "as cold ones — only the remote-lookup work changes.";
+    "as cold ones — only the remote-lookup work changes.\n"
+    "--sw batch screens each read's candidates in one inter-candidate SIMD\n"
+    "sweep; --sw-isa (or MERA_SW_ISA in the environment) pins its dispatch\n"
+    "tier — the default auto picks the widest the CPU supports. Every tier\n"
+    "emits bit-identical SAM.";
 
 mera::align::SwKernel parse_kernel(const std::string& name) {
   using mera::align::SwKernel;
   if (name == "full") return SwKernel::kFullDP;
   if (name == "banded") return SwKernel::kBanded;
   if (name == "striped") return SwKernel::kStriped;
-  throw mera::tools::UsageError("--sw expects full|banded|striped, got '" +
-                                name + "'");
+  if (name == "batch") return SwKernel::kBatch;
+  throw mera::tools::UsageError(
+      "--sw expects full|banded|striped|batch, got '" + name + "'");
+}
+
+/// --sw-isa: validated here so a typo or a tier this machine can't run is a
+/// usage error up front, not a mid-run exception from the first batch.
+mera::align::SwIsa parse_sw_isa(const std::string& name) {
+  const auto isa = mera::align::parse_isa(name);
+  if (!isa)
+    throw mera::tools::UsageError(
+        "--sw-isa expects auto|scalar|sse2|avx2|avx512, got '" + name + "'");
+  if (!mera::align::isa_supported(*isa))
+    throw mera::tools::UsageError(
+        "--sw-isa " + name +
+        ": tier not available (not compiled in or not supported by this CPU)");
+  return *isa;
 }
 
 mera::shard::ShardWeight parse_shard_weight(const std::string& name) {
@@ -105,8 +126,7 @@ mera::shard::ShardWeight parse_shard_weight(const std::string& name) {
 
 /// FASTQ batches get the one-time lossless SeqDB conversion.
 std::string ensure_seqdb(const std::string& reads) {
-  if (reads.size() > 3 &&
-      (reads.ends_with(".fastq") || reads.ends_with(".fq"))) {
+  if (mera::core::looks_like_fastq(reads)) {
     const std::string db = reads + ".sdb";
     std::fprintf(stderr, "[meraligner] converting %s -> %s\n", reads.c_str(),
                  db.c_str());
@@ -190,7 +210,7 @@ int main(int argc, char** argv) {
   }
   try {
     args.check_known({"targets", "reads", "out", "k", "ranks", "ppn", "S",
-                      "max-hits", "fragment-len", "sw", "no-exact",
+                      "max-hits", "fragment-len", "sw", "sw-isa", "no-exact",
                       "no-seed-cache", "no-target-cache", "no-aggregation",
                       "no-permute", "stats", "shards", "shard-by",
                       "shard-parallel", "no-prefetch", "save-cache",
@@ -218,6 +238,13 @@ int main(int argc, char** argv) {
     scfg.target_cache = !args.has("no-target-cache");
     scfg.permute_queries = !args.has("no-permute");
     scfg.extension.kernel = parse_kernel(args.get("sw", "full"));
+    if (args.has("sw-isa")) {
+      // Only the batch kernel dispatches on ISA; elsewhere the flag would be
+      // a silent no-op.
+      if (scfg.extension.kernel != align::SwKernel::kBatch)
+        throw tools::UsageError("--sw-isa requires --sw batch");
+      scfg.extension.isa = parse_sw_isa(args.get("sw-isa"));
+    }
     scfg.cache_admission = args.has("cache-admission");
 
     const std::string save_cache_dir = args.get("save-cache");
