@@ -15,11 +15,17 @@
 #include <utility>
 #include <vector>
 
+#include "obs/clock.hpp"
 #include "seq/fasta.hpp"
 #include "seq/genome_sim.hpp"
 #include "seq/read_sim.hpp"
 
 namespace bench {
+
+/// The one clock path every bench row measures with — shared with the obs
+/// subsystem, so BENCH_*.json seconds and --trace/--metrics seconds agree.
+using mera::obs::now_s;
+using StopWatch = mera::obs::StopWatch;
 
 struct Workload {
   std::string name;

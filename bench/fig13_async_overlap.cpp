@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
       "Section III/IV: overlapping independent work across threads");
   bench::JsonSummary json(
       "fig13", "parallel shard execution + double-buffered batch streaming");
+  const bench::StopWatch bench_watch;  // measured via the shared obs clock
 
   const auto w = bench::make_workload(
       bench::human_like(smoke ? 400'000 : 1'500'000, smoke ? 2.0 : 3.0));
@@ -177,5 +178,7 @@ int main(int argc, char** argv) {
   }
   for (const std::string& p : paths) std::remove(p.c_str());
 
+  json.config("bench_total");
+  json.metric("bench_wall_s", bench_watch.elapsed_s());
   return json.write() ? 0 : 1;
 }

@@ -146,6 +146,7 @@ int main(int argc, char** argv) {
       "Section IV software caches, persisted (ROADMAP cache persistence)");
   bench::JsonSummary json(
       "fig14", "cold vs warm-started process on the same batch stream");
+  const bench::StopWatch bench_watch;  // measured via the shared obs clock
 
   const auto w = bench::make_workload(
       bench::human_like(smoke ? 300'000 : 1'000'000, smoke ? 2.0 : 3.0));
@@ -264,6 +265,8 @@ int main(int argc, char** argv) {
 
   std::filesystem::remove_all(snapdir);
   std::printf("bit-identity: warm record sets identical to cold (both parts)\n");
+  json.config("bench_total");
+  json.metric("bench_wall_s", bench_watch.elapsed_s());
   if (!json.write()) return 1;
   return 0;
 }

@@ -22,7 +22,6 @@
 //
 // Output: paper-style stdout rows + BENCH_fig15.json. Pass --smoke for the
 // CI-sized workload.
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -86,11 +85,7 @@ std::vector<ReadCase> make_cases(std::size_t nreads, std::size_t ncand,
   return cases;
 }
 
-double now_s() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+using bench::now_s;  // the shared obs clock path, same as every other bench
 
 }  // namespace
 

@@ -58,6 +58,17 @@ struct Extension {
   std::size_t window_end = 0;
 };
 
+/// Stable lowercase kernel tag for reports and metric labels.
+[[nodiscard]] constexpr const char* kernel_name(SwKernel k) noexcept {
+  switch (k) {
+    case SwKernel::kFullDP: return "full_dp";
+    case SwKernel::kBanded: return "banded";
+    case SwKernel::kStriped: return "striped";
+    case SwKernel::kBatch: return "batch";
+  }
+  return "unknown";
+}
+
 /// Extend a seed match: query[q_off..q_off+k) == target[t_off..t_off+k).
 /// Returns an alignment whose t_begin/t_end are in full-target coordinates.
 /// `screen_min_score` is the caller's reporting threshold: the kStriped

@@ -8,6 +8,8 @@
 #include "core/exact_match.hpp"
 #include "core/file_stream.hpp"
 #include "core/load_balance.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "seq/kmer.hpp"
 #include "seq/seqdb.hpp"
 
@@ -154,6 +156,9 @@ class RankAligner {
                                q_off, h.t_pos, k, sh_.cfg.extension,
                                min_score_, striped ? &*striped : nullptr);
         ++st_.sw_calls;
+        st_.sw_cells += static_cast<std::uint64_t>(
+                            ext.window_end - ext.window_begin) *
+                        qcodes.size();
         if (ext.aln.score >= min_score_ && !ext.aln.empty()) {
           AlignmentRecord rec;
           rec.query_name = name;
@@ -178,6 +183,9 @@ class RankAligner {
           sh_.cfg.extension, min_score_);
       for (std::size_t c = 0; c < exts.size(); ++c) {
         const align::Extension& ext = exts[c];
+        st_.sw_cells += static_cast<std::uint64_t>(
+                            ext.window_end - ext.window_begin) *
+                        qcodes.size();
         if (ext.aln.score >= min_score_ && !ext.aln.empty()) {
           AlignmentRecord rec;
           rec.query_name = name;
@@ -289,6 +297,53 @@ void batch_rank_body(pgas::Rank& rank, BatchShared& sh) {
   rank.barrier();
 }
 
+/// Bridge one batch's results into the global metrics registry — the only
+/// place the per-read counters in PipelineStats meet the mutexed registry,
+/// so the hot path never pays a lookup.
+void add_batch_metrics(const BatchResult& res, const SessionConfig& cfg) {
+  auto& reg = obs::MetricsRegistry::global();
+  pgas::add_to_metrics(res.report);
+
+  reg.counter("mera_reads_processed_total", {}, "Reads pushed through align")
+      .add(static_cast<double>(res.stats.reads_processed));
+  reg.counter("mera_alignments_reported_total", {}, "Alignment records emitted")
+      .add(static_cast<double>(res.stats.alignments_reported));
+
+  const auto bridge_cache = [&reg](const char* which,
+                                   const cache::CacheCounters& c) {
+    const obs::Labels labels{{"cache", which}};
+    reg.counter("mera_cache_hits_total", labels, "Cache lookup hits")
+        .add(static_cast<double>(c.hits));
+    reg.counter("mera_cache_misses_total", labels, "Cache lookup misses")
+        .add(static_cast<double>(c.misses));
+    reg.counter("mera_cache_evictions_total", labels, "Cache entries evicted")
+        .add(static_cast<double>(c.evictions));
+    reg.counter("mera_cache_admission_rejects_total", labels,
+                "Inserts refused by the admission policy")
+        .add(static_cast<double>(c.admission_rejects));
+  };
+  bridge_cache("seed", res.seed_cache);
+  bridge_cache("target", res.target_cache);
+
+  const obs::Labels sw_labels{
+      {"kernel", align::kernel_name(cfg.extension.kernel)},
+      {"isa", cfg.extension.kernel == align::SwKernel::kBatch
+                  ? align::isa_name(align::resolve_isa(cfg.extension.isa))
+                  : "native"}};
+  reg.counter("mera_sw_calls_total", sw_labels,
+              "Smith-Waterman extensions run")
+      .add(static_cast<double>(res.stats.sw_calls));
+  reg.counter("mera_sw_cells_total", sw_labels, "DP cells scored")
+      .add(static_cast<double>(res.stats.sw_cells));
+  // Aggregate throughput of this batch's align phase: summed cells over the
+  // phase's simulated parallel time (the paper's GCUPS axis).
+  const double align_s = res.report.time_of("align");
+  if (align_s > 0.0)
+    reg.gauge("mera_sw_gcups", sw_labels,
+              "Giga DP cells per second in the last batch's align phase")
+        .set(static_cast<double>(res.stats.sw_cells) / 1e9 / align_s);
+}
+
 }  // namespace
 
 AlignSession::AlignSession(IndexedReference ref, SessionConfig cfg)
@@ -348,6 +403,7 @@ BatchResult AlignSession::run_batch(pgas::Runtime& rt,
                                     std::span<const seq::SeqRecord> mem_reads,
                                     const std::string& seqdb_path,
                                     AlignmentSink& sink) {
+  const obs::Span span("session.batch", "session");
   const pgas::Topology& built_on = ref_.topology();
   if (rt.topo().nranks() != built_on.nranks() ||
       rt.topo().ppn() != built_on.ppn())
@@ -396,6 +452,7 @@ BatchResult AlignSession::run_batch(pgas::Runtime& rt,
     target_base_ = now;
   }
   ++batches_done_;
+  add_batch_metrics(res, cfg_);
   return res;
 }
 

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
-#include <chrono>
 #include <memory>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "seq/fastq.hpp"
 #include "seq/seqdb.hpp"
 
@@ -57,7 +58,8 @@ BatchPrefetcher::~BatchPrefetcher() {
 
 std::optional<BatchPrefetcher::Batch> BatchPrefetcher::next() {
   if (next_ >= paths_.size()) return std::nullopt;
-  const auto t0 = std::chrono::steady_clock::now();
+  const obs::Span span("prefetch.stall", "io");
+  const auto t0 = obs::wall_now();
   // Advance past the in-flight slot whether it loaded or threw: a caller
   // that catches a failed batch's error can keep calling next() and gets
   // the remaining files, not a dead future.
@@ -70,6 +72,18 @@ std::optional<BatchPrefetcher::Batch> BatchPrefetcher::next() {
     throw;
   }
   batch.stall_s = detail::seconds_since(t0);
+  {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("mera_prefetch_batches_total", {},
+                "Reads batches handed out by the prefetcher")
+        .inc();
+    reg.counter("mera_prefetch_load_seconds_total", {},
+                "Off-thread wall seconds spent loading reads batches")
+        .add(batch.load_wall_s);
+    reg.counter("mera_prefetch_stall_seconds_total", {},
+                "Wall seconds the consumer blocked waiting on a load")
+        .add(batch.stall_s);
+  }
   ++next_;
   if (next_ < paths_.size()) start_load(next_);
   return batch;
@@ -82,7 +96,8 @@ void BatchPrefetcher::start_load(std::size_t i) {
     try {
       Batch batch;
       batch.path = path;
-      const auto t0 = std::chrono::steady_clock::now();
+      const obs::Span span("prefetch.load", "io");
+      const auto t0 = obs::wall_now();
       batch.records = load_read_batch(path);
       batch.load_wall_s = detail::seconds_since(t0);
       promise->set_value(std::move(batch));

@@ -13,13 +13,13 @@
 // yield exactly the records the synchronous file path would have aligned.
 #pragma once
 
-#include <chrono>
 #include <future>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "obs/clock.hpp"
 #include "seq/fasta.hpp"
 
 namespace mera::core {
@@ -27,11 +27,8 @@ namespace mera::core {
 namespace detail {
 /// Real (wall) seconds elapsed since `t0` — the clock the overlap
 /// accounting uses everywhere (loads, stalls, end-to-end stream walls).
-[[nodiscard]] inline double seconds_since(
-    std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
+/// Delegates to obs so every layer reports time from one clock path.
+using obs::seconds_since;
 }  // namespace detail
 
 /// True when `path`'s extension says FASTQ (.fastq/.fq, case-insensitive —

@@ -8,7 +8,6 @@
 // the accounting or the error path lands in both sessions at once.
 #pragma once
 
-#include <chrono>
 #include <optional>
 #include <string>
 #include <utility>
@@ -17,6 +16,7 @@
 #include "core/align_session.hpp"  // FileStreamOptions
 #include "core/batch_prefetcher.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/clock.hpp"
 
 namespace mera::core::detail {
 
@@ -29,7 +29,7 @@ template <typename StreamResult, typename AlignFn, typename OnBatch>
 StreamResult stream_file_batches(const std::vector<std::string>& paths,
                                  const FileStreamOptions& opt,
                                  AlignFn&& align_one, OnBatch&& on_batch) {
-  const auto wall0 = std::chrono::steady_clock::now();
+  const auto wall0 = obs::wall_now();
   StreamResult out;
   out.batches.reserve(paths.size());
   auto align_and_report = [&](std::vector<seq::SeqRecord>&& records) {
@@ -48,7 +48,7 @@ StreamResult stream_file_batches(const std::vector<std::string>& paths,
     }
   } else {
     for (const std::string& path : paths) {
-      const auto t0 = std::chrono::steady_clock::now();
+      const auto t0 = obs::wall_now();
       auto records = load_read_batch(path);
       const double load_s = seconds_since(t0);
       out.load_wall_s += load_s;

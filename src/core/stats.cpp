@@ -18,7 +18,8 @@ void PipelineStats::print(std::ostream& os) const {
      << seed_cache_hits << ")\n"
      << "target fetches       " << target_fetches << "  (cache hits "
      << target_cache_hits << ")\n"
-     << "Smith-Waterman calls " << sw_calls << '\n'
+     << "Smith-Waterman calls " << sw_calls << "  (" << sw_cells
+     << " DP cells)\n"
      << "memcmp fast paths    " << memcmp_calls << '\n'
      << "lookups truncated    " << hits_truncated << '\n'
      << "comm (lookups)       " << std::setprecision(4) << comm_lookup_s

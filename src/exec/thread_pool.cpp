@@ -4,10 +4,26 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mera::exec {
+
+namespace {
+
+// Registry handles are fetched per call, not cached in statics: pool tasks are
+// whole-shard / whole-batch units, so one mutexed map lookup per task is noise
+// next to the work it dispatches.
+obs::MetricsRegistry& reg() { return obs::MetricsRegistry::global(); }
+
+}  // namespace
 
 ThreadPool::ThreadPool(int nthreads) {
   const int n = std::max(1, nthreads);
+  reg().gauge("mera_pool_workers", {},
+              "Worker threads in the most recently started pool")
+      .set(n);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -34,6 +50,12 @@ void ThreadPool::submit(std::function<void()> task) {
           "ThreadPool::submit after stop: workers may already have observed "
           "an empty queue and exited, so the task could never run");
     queue_.push_back(std::move(task));
+    reg().counter("mera_pool_tasks_submitted_total", {},
+                  "Tasks enqueued on the executor pool")
+        .inc();
+    reg().gauge("mera_pool_queue_depth", {},
+                "Tasks waiting in the pool queue (sampled at submit)")
+        .set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -48,7 +70,21 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    {
+      const obs::Span span("pool.task", "exec");
+      const obs::StopWatch sw;
+      task();
+      const double secs = sw.elapsed_s();
+      reg().counter("mera_pool_tasks_total", {}, "Tasks executed by the pool")
+          .inc();
+      reg().counter("mera_pool_busy_seconds_total", {},
+                    "Wall seconds pool workers spent running tasks")
+          .add(secs);
+      reg().histogram("mera_pool_task_seconds",
+                      {0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0}, {},
+                      "Per-task wall time on the executor pool")
+          .observe(secs);
+    }
   }
 }
 

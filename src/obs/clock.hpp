@@ -1,0 +1,43 @@
+// The one wall-clock path every observability consumer shares.
+//
+// Timing used to be hand-rolled per call site (time_since_epoch in benches,
+// ad-hoc steady_clock reads in the prefetcher and the sharded session), which
+// made "seconds" in one report subtly different from "seconds" in another.
+// Everything that measures real elapsed time — spans, pool task walls,
+// prefetch stalls, bench rows — now goes through these helpers, so every
+// number is the same monotonic clock.
+#pragma once
+
+#include <chrono>
+
+namespace mera::obs {
+
+using WallClock = std::chrono::steady_clock;
+
+[[nodiscard]] inline WallClock::time_point wall_now() noexcept {
+  return WallClock::now();
+}
+
+/// Seconds since the steady clock's (arbitrary) epoch — only differences are
+/// meaningful.
+[[nodiscard]] inline double now_s() noexcept {
+  return std::chrono::duration<double>(wall_now().time_since_epoch()).count();
+}
+
+/// Real seconds elapsed since `t0`.
+[[nodiscard]] inline double seconds_since(WallClock::time_point t0) noexcept {
+  return std::chrono::duration<double>(wall_now() - t0).count();
+}
+
+/// Minimal elapsed-time helper: starts on construction.
+class StopWatch {
+ public:
+  StopWatch() noexcept : t0_(wall_now()) {}
+  void restart() noexcept { t0_ = wall_now(); }
+  [[nodiscard]] double elapsed_s() const noexcept { return seconds_since(t0_); }
+
+ private:
+  WallClock::time_point t0_;
+};
+
+}  // namespace mera::obs

@@ -1,0 +1,53 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace mera::obs {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<const char*> g_prefix{""};
+
+}  // namespace
+
+void Log::set_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Log::level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void Log::set_prefix(const char* prefix) noexcept {
+  g_prefix.store(prefix != nullptr ? prefix : "",
+                 std::memory_order_relaxed);
+}
+
+void Log::vlog(LogLevel level, const char* fmt, std::va_list args) {
+  if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed))
+    return;
+  char buf[1024];
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  // Single fprintf so concurrent writers emit whole lines.
+  std::fprintf(stderr, "%s%s\n", g_prefix.load(std::memory_order_relaxed),
+               buf);
+}
+
+#define MERA_OBS_DEFINE_LEVEL(fn, lvl)      \
+  void Log::fn(const char* fmt, ...) {      \
+    std::va_list args;                      \
+    va_start(args, fmt);                    \
+    vlog(LogLevel::lvl, fmt, args);         \
+    va_end(args);                           \
+  }
+
+MERA_OBS_DEFINE_LEVEL(error, kError)
+MERA_OBS_DEFINE_LEVEL(warn, kWarn)
+MERA_OBS_DEFINE_LEVEL(info, kInfo)
+MERA_OBS_DEFINE_LEVEL(debug, kDebug)
+
+#undef MERA_OBS_DEFINE_LEVEL
+
+}  // namespace mera::obs

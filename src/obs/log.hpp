@@ -1,0 +1,43 @@
+// Leveled stderr logging for the CLI and tools.
+//
+// Replaces the scattered `fprintf(stderr, "[meraligner] ...")` lines: callers
+// say what they mean (info vs warn vs error) and the prefix/newline are
+// applied in one place. `--quiet` maps to set_level(kError): errors — and the
+// always-raw exit-2 usage messages, which do not go through here — still
+// print; progress chatter does not.
+#pragma once
+
+#include <cstdarg>
+
+namespace mera::obs {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+class Log {
+ public:
+  static void set_level(LogLevel level) noexcept;
+  [[nodiscard]] static LogLevel level() noexcept;
+  /// Prefix prepended to every line, e.g. "[meraligner] ". Pointer must have
+  /// static storage duration.
+  static void set_prefix(const char* prefix) noexcept;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MERA_OBS_PRINTF(fmt_idx, va_idx) \
+  __attribute__((format(printf, fmt_idx, va_idx)))
+#else
+#define MERA_OBS_PRINTF(fmt_idx, va_idx)
+#endif
+
+  /// printf-style; a newline is appended — format strings carry none.
+  static void error(const char* fmt, ...) MERA_OBS_PRINTF(1, 2);
+  static void warn(const char* fmt, ...) MERA_OBS_PRINTF(1, 2);
+  static void info(const char* fmt, ...) MERA_OBS_PRINTF(1, 2);
+  static void debug(const char* fmt, ...) MERA_OBS_PRINTF(1, 2);
+
+#undef MERA_OBS_PRINTF
+
+ private:
+  static void vlog(LogLevel level, const char* fmt, std::va_list args);
+};
+
+}  // namespace mera::obs

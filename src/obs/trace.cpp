@@ -1,0 +1,139 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+namespace mera::obs {
+
+namespace {
+
+void json_escape_to(std::ostream& os, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+}
+
+void json_escape_to(std::ostream& os, const std::string& s) {
+  json_escape_to(os, s.c_str());
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable() {
+  const std::scoped_lock lk(mu_);
+  // Fresh session: drop prior events and invalidate all cached thread-local
+  // buffer handles so rows renumber from 1.
+  buffers_.clear();
+  next_tid_ = 1;
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  origin_ = wall_now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::reset() {
+  const std::scoped_lock lk(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  buffers_.clear();
+  next_tid_ = 1;
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer::Buffer& Tracer::local_buffer() {
+  // The shared_ptr keeps the buffer alive in `buffers_` even after the owning
+  // thread exits; the generation check re-registers after enable()/reset().
+  struct Local {
+    const Tracer* owner = nullptr;
+    std::uint64_t generation = 0;
+    std::shared_ptr<Buffer> buf;
+  };
+  thread_local Local local;
+  const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
+  if (local.owner != this || local.generation != gen) {
+    auto buf = std::make_shared<Buffer>();
+    {
+      const std::scoped_lock lk(mu_);
+      buf->tid = next_tid_++;
+      buffers_.push_back(buf);
+    }
+    local.owner = this;
+    local.generation = gen;
+    local.buf = std::move(buf);
+  }
+  return *local.buf;
+}
+
+void Tracer::record(std::string name, const char* cat, std::uint64_t ts_us,
+                    std::uint64_t dur_us) {
+  Buffer& buf = local_buffer();
+  const std::scoped_lock lk(buf.mu);
+  buf.events.push_back(Event{std::move(name), cat, ts_us, dur_us});
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    const std::scoped_lock lk(mu_);
+    buffers = buffers_;
+  }
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buf : buffers) {
+    const std::scoped_lock lk(buf->mu);
+    for (const Event& e : buf->events) {
+      os << (first ? "\n" : ",\n") << "{\"name\":\"";
+      json_escape_to(os, e.name);
+      os << "\",\"cat\":\"";
+      json_escape_to(os, e.cat);
+      os << "\",\"ph\":\"X\",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us
+         << ",\"pid\":1,\"tid\":" << buf->tid << "}";
+      first = false;
+    }
+  }
+  os << (first ? "" : "\n") << "]}\n";
+}
+
+std::size_t Tracer::event_count() const {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    const std::scoped_lock lk(mu_);
+    buffers = buffers_;
+  }
+  std::size_t n = 0;
+  for (const auto& buf : buffers) {
+    const std::scoped_lock lk(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void Span::begin(std::string_view name, const char* cat) {
+  active_ = true;
+  name_.assign(name);
+  cat_ = cat;
+  ts_us_ = Tracer::global().now_us();
+}
+
+void Span::end() {
+  Tracer& tracer = Tracer::global();
+  // Record even if tracing was just disabled, so spans open at disable()
+  // still close; their timestamps remain valid for the current session.
+  const std::uint64_t now = tracer.now_us();
+  tracer.record(std::move(name_), cat_, ts_us_,
+                now >= ts_us_ ? now - ts_us_ : 0);
+  active_ = false;
+}
+
+}  // namespace mera::obs

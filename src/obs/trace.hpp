@@ -1,0 +1,122 @@
+// Scoped-span tracing in Chrome Trace Event Format.
+//
+// obs::Span is an RAII scope marker: construct it at the top of a region
+// (a pool task, a prefetch load, a pgas phase, a whole batch) and the region
+// shows up as one bar on that thread's row when the written JSON is opened in
+// chrome://tracing or Perfetto (ui.perfetto.dev). Spans nest naturally —
+// "complete" (ph:"X") events with begin timestamp + duration render as
+// stacked bars.
+//
+// The whole facility is OFF by default and costs one relaxed atomic load per
+// Span when off: the constructor checks Tracer::enabled() and returns before
+// touching the clock, the name, or any buffer. Enabled-mode recording is a
+// clock read plus a push into a per-thread buffer (its mutex is only ever
+// contended by the final write), so rank threads, pool workers and the
+// driving thread can all record without serializing on each other. Tracing
+// changes seconds, never bytes — aligned output is bit-identical with the
+// tracer on or off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace mera::obs {
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer every Span records into.
+  [[nodiscard]] static Tracer& global();
+
+  /// Start recording; timestamps are microseconds since this call.
+  void enable();
+  /// Stop recording (spans become free again); recorded events are kept
+  /// until reset() or the next enable().
+  void disable();
+  /// The Span fast path: one relaxed load.
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  /// Disable AND drop everything recorded so far (tests, reuse).
+  void reset();
+
+  /// Microseconds since enable().
+  [[nodiscard]] std::uint64_t now_us() const noexcept {
+    return static_cast<std::uint64_t>(seconds_since(origin_) * 1e6);
+  }
+
+  /// Record one complete event on the calling thread's row. `cat` must be a
+  /// string with static storage duration (category literals).
+  void record(std::string name, const char* cat, std::uint64_t ts_us,
+              std::uint64_t dur_us);
+
+  /// Write everything recorded as Chrome Trace Event JSON:
+  /// {"traceEvents":[...]} — loadable by chrome://tracing and Perfetto.
+  /// Safe while recording continues (each thread buffer is drained under its
+  /// lock); events recorded during the write may or may not be included.
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// Events recorded since the last enable()/reset() (diagnostics, tests).
+  [[nodiscard]] std::size_t event_count() const;
+
+ private:
+  struct Event {
+    std::string name;
+    const char* cat;
+    std::uint64_t ts_us;
+    std::uint64_t dur_us;
+  };
+  struct Buffer {
+    std::mutex mu;
+    std::uint32_t tid = 0;
+    std::vector<Event> events;
+  };
+
+  Buffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  WallClock::time_point origin_{};
+  /// Buffer registration/reset bookkeeping. Thread-local buffer handles are
+  /// invalidated by bumping `generation_`; threads re-register lazily.
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+  std::atomic<std::uint64_t> generation_{1};
+  std::uint32_t next_tid_ = 1;
+};
+
+/// RAII scope span. When the global tracer is disabled, construction is a
+/// single relaxed atomic branch and destruction a predictable-not-taken test.
+class Span {
+ public:
+  explicit Span(std::string_view name, const char* cat = "mera") {
+    if (!Tracer::global().enabled()) return;  // the only disabled-mode cost
+    begin(name, cat);
+  }
+  ~Span() {
+    if (active_) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(std::string_view name, const char* cat);
+  void end();
+
+  bool active_ = false;
+  std::uint64_t ts_us_ = 0;
+  std::string name_;
+  const char* cat_ = "mera";
+};
+
+}  // namespace mera::obs

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace mera::pgas {
 
 namespace {
@@ -118,6 +120,27 @@ PhaseReport merge_phase_samples(
     }
   }
   return rep;
+}
+
+void add_to_metrics(const PhaseReport& report) {
+  auto& reg = obs::MetricsRegistry::global();
+  for (const PhaseEntry& p : report.phases) {
+    const obs::Labels labels{{"phase", p.name}};
+    double cpu = 0.0, comm = 0.0;
+    for (std::size_t r = 0; r < p.cpu_s.size(); ++r) {
+      cpu += p.cpu_s[r];
+      comm += p.comm_s[r];
+    }
+    reg.counter("mera_phase_cpu_seconds_total", labels,
+                "CPU seconds summed over ranks, by phase")
+        .add(cpu);
+    reg.counter("mera_phase_comm_seconds_total", labels,
+                "Modeled communication seconds summed over ranks, by phase")
+        .add(comm);
+    reg.counter("mera_phase_net_bytes_total", labels,
+                "Modeled network bytes summed over ranks, by phase")
+        .add(static_cast<double>(p.traffic.net_bytes));
+  }
 }
 
 }  // namespace mera::pgas

@@ -75,4 +75,11 @@ struct PhaseReport {
 [[nodiscard]] PhaseReport merge_phase_samples(
     const std::vector<std::vector<PhaseSample>>& per_rank);
 
+/// Bridge a report into the global metrics registry: per-phase CPU and
+/// modeled-communication seconds accumulate into
+/// `mera_phase_cpu_seconds_total{phase=...}` and
+/// `mera_phase_comm_seconds_total{phase=...}`. Called once per batch/run by
+/// the sessions, so registry lookups stay off the per-read path.
+void add_to_metrics(const PhaseReport& report);
+
 }  // namespace mera::pgas

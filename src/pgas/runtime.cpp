@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace mera::pgas {
 
 // ---------------------------------------------------------------------------
@@ -21,6 +23,8 @@ void Rank::begin_execution() {
   phase_stats_origin_ = stats_;
   current_phase_ = "startup";
   samples_.clear();
+  tracing_ = obs::Tracer::global().enabled();
+  if (tracing_) phase_wall_origin_us_ = obs::Tracer::global().now_us();
 }
 
 void Rank::close_phase() {
@@ -29,6 +33,15 @@ void Rank::close_phase() {
   s.cpu_s = thread_cpu_seconds() - phase_cpu_origin_;
   s.comm = stats_ - phase_stats_origin_;
   samples_.push_back(std::move(s));
+  if (tracing_) {
+    // One bar per phase per rank: rank threads each own a tracer row, so the
+    // timeline reads like the paper's per-phase breakdown, but in wall time.
+    obs::Tracer& tracer = obs::Tracer::global();
+    const std::uint64_t now = tracer.now_us();
+    tracer.record("phase:" + current_phase_, "pgas", phase_wall_origin_us_,
+                  now >= phase_wall_origin_us_ ? now - phase_wall_origin_us_
+                                               : 0);
+  }
 }
 
 void Rank::phase(std::string_view name) {
@@ -36,6 +49,7 @@ void Rank::phase(std::string_view name) {
   barrier();
   phase_cpu_origin_ = thread_cpu_seconds();
   phase_stats_origin_ = stats_;
+  if (tracing_) phase_wall_origin_us_ = obs::Tracer::global().now_us();
   current_phase_.assign(name);
 }
 

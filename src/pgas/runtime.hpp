@@ -130,6 +130,11 @@ class Rank {
   CommStats phase_stats_origin_;
   double cpu_origin_ = 0.0;
   double phase_cpu_origin_ = 0.0;
+  /// Trace-span bookkeeping: sampled once per run at begin_execution so a
+  /// mid-run enable()/disable() can't produce half-open spans. Phase CPU
+  /// accounting itself never depends on the tracer.
+  bool tracing_ = false;
+  std::uint64_t phase_wall_origin_us_ = 0;
   std::string current_phase_ = "startup";
   std::vector<PhaseSample> samples_;
 };

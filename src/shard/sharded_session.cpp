@@ -1,7 +1,7 @@
 #include "shard/sharded_session.hpp"
 
 #include <algorithm>
-#include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <tuple>
 #include <utility>
@@ -10,6 +10,8 @@
 #include "core/file_stream.hpp"
 #include "core/load_balance.hpp"
 #include "exec/task_group.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mera::shard {
 
@@ -74,6 +76,17 @@ double ShardedBatchResult::time_parallel_s() const {
   for (const core::BatchResult& b : per_shard)
     t = std::max(t, b.total_time_s());
   return t;
+}
+
+double ShardedBatchResult::imbalance_measured() const {
+  if (shard_wall_s.empty()) return 0.0;
+  double sum = 0.0, max = 0.0;
+  for (const double w : shard_wall_s) {
+    sum += w;
+    max = std::max(max, w);
+  }
+  const double mean = sum / static_cast<double>(shard_wall_s.size());
+  return mean > 0.0 ? max / mean : 0.0;
 }
 
 ShardedAlignSession::ShardedAlignSession(ShardedReference ref,
@@ -186,7 +199,8 @@ ShardedFileStreamResult ShardedAlignSession::align_batch_files(
 ShardedBatchResult ShardedAlignSession::run_batch(
     pgas::Runtime& rt, const std::vector<seq::SeqRecord>& reads,
     core::AlignmentSink& sink) {
-  const auto wall0 = std::chrono::steady_clock::now();
+  const obs::Span batch_span("shard.batch", "shard");
+  const auto wall0 = obs::wall_now();
   const int nshards = ref_.num_shards();
   const int nranks = rt.nranks();
   const int J = effective_parallelism(nranks);
@@ -201,13 +215,19 @@ ShardedBatchResult ShardedAlignSession::run_batch(
   ShardedBatchResult res;
   res.shard_parallelism = J;
   res.per_shard.resize(static_cast<std::size_t>(nshards));
+  res.shard_wall_s.assign(static_cast<std::size_t>(nshards), 0.0);
   auto run_shard = [&](int s, pgas::Runtime& shard_rt) {
     const auto ss = static_cast<std::size_t>(s);
+    char span_name[32];
+    std::snprintf(span_name, sizeof span_name, "shard %d align", s);
+    const obs::Span span(span_name, "shard");
+    const obs::StopWatch sw;
     ShardCollectorSink& coll = collected[ss];
     res.per_shard[ss] = sessions_[ss]->align_batch(shard_rt, reads, coll);
     for (auto& rank_entries : coll.per_rank())
       for (ShardCollectorSink::Entry& e : rank_entries)
         e.rec.target_id = ref_.to_global(s, e.rec.target_id);
+    res.shard_wall_s[ss] = sw.elapsed_s();
   };
   if (J > 1) {
     // Concurrent runtimes must not share barriers or phase accounting, so
@@ -270,6 +290,22 @@ ShardedBatchResult ShardedAlignSession::run_batch(
   sink.batch_end();
   ++batches_done_;
   res.wall_s = seconds_since(wall0);
+
+  // ---- bridge the load-balance picture into the metrics registry ----------
+  auto& reg = obs::MetricsRegistry::global();
+  for (int s = 0; s < nshards; ++s)
+    reg.gauge("mera_shard_wall_seconds", {{"shard", std::to_string(s)}},
+              "Measured wall seconds of the shard's last batch")
+        .set(res.shard_wall_s[static_cast<std::size_t>(s)]);
+  reg.gauge("mera_shard_imbalance_measured", {},
+            "max/mean of measured per-shard batch walls (1.0 = balanced)")
+      .set(res.imbalance_measured());
+  reg.gauge("mera_shard_imbalance_predicted", {},
+            "max/mean of planned shard weights (ShardPlan::imbalance)")
+      .set(ref_.plan().imbalance());
+  reg.gauge("mera_shard_parallelism", {},
+            "Shards aligned concurrently in the last batch (resolved J)")
+      .set(static_cast<double>(J));
   return res;
 }
 

@@ -89,11 +89,18 @@ struct ShardedBatchResult {
   /// number the executor is supposed to shrink; compare against
   /// total_time_s() (serial model) and time_parallel_s() (ideal model).
   double wall_s = 0.0;
+  /// Measured real seconds of each shard's align_batch (including its queue
+  /// wait when J < K serializes dispatch) — the repro's answer to the
+  /// paper's load-balance table, next to ShardPlan::imbalance()'s prediction.
+  std::vector<double> shard_wall_s;
 
   /// Serial composition (shards streamed one after another on this machine).
   [[nodiscard]] double total_time_s() const { return report.total_time_s(); }
   /// Per-runtime composition (each shard on its own machine): slowest shard.
   [[nodiscard]] double time_parallel_s() const;
+  /// Measured load imbalance: max over shards of shard_wall_s / mean.
+  /// 1.0 = perfectly balanced; 0.0 when unmeasured.
+  [[nodiscard]] double imbalance_measured() const;
 };
 
 /// Outcome of one sharded align_batch_files() stream: the same accounting

@@ -397,3 +397,105 @@ endif()
 if(NOT err MATCHES "missing required flag --reads" OR NOT err MATCHES "meraligner --targets")
   message(FATAL_ERROR "--save-cache without --reads did not print the usage message:\n${err}")
 endif()
+
+# --- 8. observability: --trace/--metrics change seconds, never bytes ---------
+# An observed sharded run (trace + metrics + cache totals) must hit the same
+# record set as scenario 4's unobserved runs, and both sidecar files must
+# materialize.
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --out ${WORKDIR}/out_observed.sam
+    --k 31 --ranks 4 --ppn 2 --no-permute --no-exact --shards 3
+    --shard-parallel 2 --stats
+    --trace ${WORKDIR}/trace.json
+    --metrics ${WORKDIR}/metrics.json
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "observed run exited with ${rc}\nstderr:\n${err}")
+endif()
+if(NOT err MATCHES "trace written to" OR NOT err MATCHES "metrics written to")
+  message(FATAL_ERROR "observed run did not report its sidecar files:\n${err}")
+endif()
+if(NOT err MATCHES "cache totals")
+  message(FATAL_ERROR "--stats did not print the end-of-run cache totals:\n${err}")
+endif()
+check_sam_against(${WORKDIR}/out_observed.sam ${WORKDIR}/out_single_noexact.sam
+                  "observed-vs-unobserved")
+if(NOT EXISTS ${WORKDIR}/trace.json OR NOT EXISTS ${WORKDIR}/metrics.json)
+  message(FATAL_ERROR "observed run did not write trace.json / metrics.json")
+endif()
+file(READ ${WORKDIR}/trace.json trace_json)
+if(NOT trace_json MATCHES "\"traceEvents\"" OR NOT trace_json MATCHES "\"ph\":\"X\"")
+  message(FATAL_ERROR "trace.json is not Chrome Trace Event JSON:\n${trace_json}")
+endif()
+file(READ ${WORKDIR}/metrics.json metrics_json)
+if(NOT metrics_json MATCHES "mera_shard_wall_seconds")
+  message(FATAL_ERROR "metrics.json lacks the per-shard wall series:\n${metrics_json}")
+endif()
+
+# Prometheus export: --metrics-format prom writes text exposition format.
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --out ${WORKDIR}/out_observed_prom.sam
+    --k 31 --ranks 4 --ppn 2 --no-permute
+    --metrics ${WORKDIR}/metrics.prom --metrics-format prom
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--metrics-format prom run exited with ${rc}\nstderr:\n${err}")
+endif()
+file(READ ${WORKDIR}/metrics.prom metrics_prom)
+if(NOT metrics_prom MATCHES "# TYPE mera_reads_processed_total counter")
+  message(FATAL_ERROR "metrics.prom is not Prometheus text exposition:\n${metrics_prom}")
+endif()
+check_sam(${WORKDIR}/out_observed_prom.sam "single batch with --metrics")
+
+# --quiet: same golden bytes, no informational stderr (errors still print).
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --out ${WORKDIR}/out_quiet.sam
+    --k 31 --ranks 4 --ppn 2 --no-permute --quiet
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--quiet run exited with ${rc}\nstderr:\n${err}")
+endif()
+if(err MATCHES "\\[meraligner\\]")
+  message(FATAL_ERROR "--quiet did not silence the informational lines:\n${err}")
+endif()
+check_sam(${WORKDIR}/out_quiet.sam "single batch --quiet")
+
+# Observability flag validation: all usage errors (exit 2 + usage), even
+# under --quiet — usage errors always print. `extra` is a ;-list of flags
+# appended to an otherwise valid invocation; `expect` the message fragment.
+function(check_obs_usage_error extra expect)
+  execute_process(
+    COMMAND ${CLI}
+      --targets ${WORKDIR}/contigs.fa
+      --reads ${WORKDIR}/reads.fastq
+      --k 31 --ranks 4 --ppn 2 --quiet ${extra}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "'${extra}' exited ${rc}, expected usage error 2")
+  endif()
+  if(NOT err MATCHES "${expect}" OR NOT err MATCHES "meraligner --targets")
+    message(FATAL_ERROR "'${extra}' did not print the usage message:\n${err}")
+  endif()
+endfunction()
+check_obs_usage_error("--trace" "--trace expects a file path")
+check_obs_usage_error("--metrics" "--metrics expects a file path")
+check_obs_usage_error("--metrics-format;json" "--metrics-format requires --metrics")
+check_obs_usage_error("--metrics;${WORKDIR}/m.json;--metrics-format;xml"
+                      "--metrics-format expects json|prom")

@@ -10,6 +10,8 @@
 //              [--shards K] [--shard-by cost|bases] [--shard-parallel J]
 //              [--no-prefetch]
 //              [--save-cache DIR] [--load-cache DIR] [--cache-admission]
+//              [--trace FILE.json] [--metrics FILE]
+//              [--metrics-format json|prom] [--quiet]
 //
 // The distributed seed index is built ONCE from --targets; every --reads
 // batch is then streamed against it through one AlignSession, so batch N>1
@@ -41,8 +43,17 @@
 // byte-for-byte the cold output; only the cache hit rates and modeled
 // communication seconds change. --cache-admission turns on the
 // eviction-aware admission policy for multi-tenant batch streams.
+//
+// Observability: --trace FILE.json records a Chrome Trace Event timeline
+// (phases per rank, shard dispatch, prefetch loads/stalls — open in
+// chrome://tracing or ui.perfetto.dev); --metrics FILE dumps the process
+// metrics registry (JSON by default, Prometheus text with --metrics-format
+// prom). Both change seconds, never bytes: SAM output is bit-identical with
+// observability on or off. --quiet suppresses the informational stderr lines
+// (usage errors still print).
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -50,11 +61,15 @@
 #include <vector>
 
 #include "cache/cache_snapshot.hpp"
+#include "cache/seed_cache.hpp"
 #include "cli_util.hpp"
 #include "core/align_session.hpp"
 #include "core/alignment_sink.hpp"
 #include "core/batch_prefetcher.hpp"
 #include "core/indexed_reference.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "seq/fasta.hpp"
 #include "seq/seqdb.hpp"
 #include "shard/sharded_reference.hpp"
@@ -73,6 +88,8 @@ constexpr const char* kUsage =
     "           [--shards K] [--shard-by cost|bases] [--shard-parallel J]\n"
     "           [--no-prefetch]\n"
     "           [--save-cache DIR] [--load-cache DIR] [--cache-admission]\n"
+    "           [--trace FILE.json] [--metrics FILE]\n"
+    "           [--metrics-format json|prom] [--quiet]\n"
     "\n"
     "The index over --targets is built once; each --reads batch is aligned\n"
     "against it in order, streaming SAM into --out (one header, all batches).\n"
@@ -90,7 +107,11 @@ constexpr const char* kUsage =
     "--sw batch screens each read's candidates in one inter-candidate SIMD\n"
     "sweep; --sw-isa (or MERA_SW_ISA in the environment) pins its dispatch\n"
     "tier — the default auto picks the widest the CPU supports. Every tier\n"
-    "emits bit-identical SAM.";
+    "emits bit-identical SAM.\n"
+    "--trace FILE.json records a Chrome Trace Event timeline (open in\n"
+    "chrome://tracing or ui.perfetto.dev); --metrics FILE dumps the metrics\n"
+    "registry as JSON (--metrics-format prom for Prometheus text). Neither\n"
+    "changes a SAM byte. --quiet silences informational stderr lines.";
 
 mera::align::SwKernel parse_kernel(const std::string& name) {
   using mera::align::SwKernel;
@@ -128,8 +149,7 @@ mera::shard::ShardWeight parse_shard_weight(const std::string& name) {
 std::string ensure_seqdb(const std::string& reads) {
   if (mera::core::looks_like_fastq(reads)) {
     const std::string db = reads + ".sdb";
-    std::fprintf(stderr, "[meraligner] converting %s -> %s\n", reads.c_str(),
-                 db.c_str());
+    mera::obs::Log::info("converting %s -> %s", reads.c_str(), db.c_str());
     mera::seq::fastq_to_seqdb(reads, db);
     return db;
   }
@@ -149,21 +169,21 @@ std::string command_line_of(int argc, char** argv) {
 void print_batch_line(std::size_t b, std::size_t nbatches,
                       const std::string& name, const mera::core::PipelineStats& s,
                       double time_s) {
-  std::fprintf(stderr,
-               "[meraligner] batch %zu/%zu (%s): %llu/%llu reads aligned "
-               "(%.1f%%), %llu alignments, %.3f simulated s (index reused)\n",
-               b + 1, nbatches, name.c_str(),
-               static_cast<unsigned long long>(s.reads_aligned),
-               static_cast<unsigned long long>(s.reads_processed),
-               100.0 * s.aligned_fraction(),
-               static_cast<unsigned long long>(s.alignments_reported), time_s);
+  mera::obs::Log::info(
+      "batch %zu/%zu (%s): %llu/%llu reads aligned "
+      "(%.1f%%), %llu alignments, %.3f simulated s (index reused)",
+      b + 1, nbatches, name.c_str(),
+      static_cast<unsigned long long>(s.reads_aligned),
+      static_cast<unsigned long long>(s.reads_processed),
+      100.0 * s.aligned_fraction(),
+      static_cast<unsigned long long>(s.alignments_reported), time_s);
 }
 
 void print_prefetch_line(double wall_s, double load_wall_s, double stall_s) {
-  std::fprintf(stderr,
-               "[meraligner] prefetch: %.3f real s end-to-end, %.3f s of "
-               "batch loading overlapped with aligning (%.3f s stalled)\n",
-               wall_s, load_wall_s, stall_s);
+  mera::obs::Log::info(
+      "prefetch: %.3f real s end-to-end, %.3f s of "
+      "batch loading overlapped with aligning (%.3f s stalled)",
+      wall_s, load_wall_s, stall_s);
 }
 
 /// Warm-load failures are invocation errors (exit 2 + usage): the user
@@ -178,31 +198,78 @@ void load_caches_or_usage_error(SessionT& session, const mera::pgas::Runtime& rt
   } catch (const mera::cache::CacheSnapshotError& e) {
     throw mera::tools::UsageError("--load-cache " + dir + ": " + e.what());
   }
-  std::fprintf(stderr, "[meraligner] warm caches loaded from %s\n",
-               dir.c_str());
+  mera::obs::Log::info("warm caches loaded from %s", dir.c_str());
 }
 
 void print_save_line(const std::string& dir) {
-  std::fprintf(stderr, "[meraligner] caches saved to %s\n", dir.c_str());
+  mera::obs::Log::info("caches saved to %s", dir.c_str());
 }
 
 void print_total_line(const mera::core::PipelineStats& total, double index_s,
                       double align_s) {
-  std::fprintf(stderr,
-               "[meraligner] total: %llu/%llu reads aligned (%.1f%%), "
-               "%llu alignments, %.3f simulated s end-to-end "
-               "(%.3f s index + %.3f s aligning)\n",
-               static_cast<unsigned long long>(total.reads_aligned),
-               static_cast<unsigned long long>(total.reads_processed),
-               100.0 * total.aligned_fraction(),
-               static_cast<unsigned long long>(total.alignments_reported),
-               index_s + align_s, index_s, align_s);
+  mera::obs::Log::info(
+      "total: %llu/%llu reads aligned (%.1f%%), "
+      "%llu alignments, %.3f simulated s end-to-end "
+      "(%.3f s index + %.3f s aligning)",
+      static_cast<unsigned long long>(total.reads_aligned),
+      static_cast<unsigned long long>(total.reads_processed),
+      100.0 * total.aligned_fraction(),
+      static_cast<unsigned long long>(total.alignments_reported),
+      index_s + align_s, index_s, align_s);
+}
+
+/// --stats epilogue: end-of-run cache counter totals (cumulative over every
+/// batch, warm-loaded history included).
+void print_cache_totals(const mera::cache::CacheCounters& seed,
+                        const mera::cache::CacheCounters& target) {
+  const auto line = [](const char* name, const mera::cache::CacheCounters& c) {
+    std::fprintf(stderr,
+                 "%-20s hits %llu  misses %llu  evictions %llu  "
+                 "admission rejects %llu\n",
+                 name, static_cast<unsigned long long>(c.hits),
+                 static_cast<unsigned long long>(c.misses),
+                 static_cast<unsigned long long>(c.evictions),
+                 static_cast<unsigned long long>(c.admission_rejects));
+  };
+  std::fprintf(stderr, "cache totals (end of run)\n");
+  line("  seed cache", seed);
+  line("  target cache", target);
+}
+
+/// End-of-run observability artifacts. Failures to write are runtime errors
+/// (exit 1): the alignment already happened; only the telemetry is at stake.
+void write_observability_files(const std::string& trace_path,
+                               const std::string& metrics_path,
+                               const std::string& metrics_format) {
+  namespace obs = mera::obs;
+  if (!trace_path.empty()) {
+    std::ofstream f(trace_path);
+    if (!f)
+      throw std::runtime_error("--trace: cannot write '" + trace_path + "'");
+    obs::Tracer::global().write_chrome_trace(f);
+    obs::Log::info(
+        "trace written to %s (open in chrome://tracing or ui.perfetto.dev)",
+        trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream f(metrics_path);
+    if (!f)
+      throw std::runtime_error("--metrics: cannot write '" + metrics_path +
+                               "'");
+    if (metrics_format == "prom")
+      obs::MetricsRegistry::global().write_prometheus(f);
+    else
+      obs::MetricsRegistry::global().write_json(f);
+    obs::Log::info("metrics written to %s (%s)", metrics_path.c_str(),
+                   metrics_format.c_str());
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace mera;
+  obs::Log::set_prefix("[meraligner] ");
   const tools::Args args(argc, argv);
   if (args.has("help") || argc == 1) {
     std::puts(kUsage);
@@ -214,7 +281,23 @@ int main(int argc, char** argv) {
                       "no-seed-cache", "no-target-cache", "no-aggregation",
                       "no-permute", "stats", "shards", "shard-by",
                       "shard-parallel", "no-prefetch", "save-cache",
-                      "load-cache", "cache-admission", "help"});
+                      "load-cache", "cache-admission", "trace", "metrics",
+                      "metrics-format", "quiet", "help"});
+    if (args.has("quiet")) obs::Log::set_level(obs::LogLevel::kError);
+    const std::string trace_path = args.get("trace");
+    if (args.has("trace") && (trace_path.empty() || trace_path == "1"))
+      throw tools::UsageError("--trace expects a file path");
+    const std::string metrics_path = args.get("metrics");
+    if (args.has("metrics") && (metrics_path.empty() || metrics_path == "1"))
+      throw tools::UsageError("--metrics expects a file path");
+    if (args.has("metrics-format") && !args.has("metrics"))
+      throw tools::UsageError("--metrics-format requires --metrics");
+    const std::string metrics_format = args.get("metrics-format", "json");
+    if (metrics_format != "json" && metrics_format != "prom")
+      throw tools::UsageError("--metrics-format expects json|prom, got '" +
+                              metrics_format + "'");
+    // Enable before the index build so its phases land on the timeline too.
+    if (!trace_path.empty()) obs::Tracer::global().enable();
     const std::vector<std::string> target_files = args.get_all("targets");
     if (target_files.empty())
       throw tools::UsageError("missing required flag --targets");
@@ -301,11 +384,11 @@ int main(int argc, char** argv) {
       // ---- single-index path ---------------------------------------------
       const auto ref =
           core::IndexedReference::build_from_fasta(rt, target_files[0], icfg);
-      std::fprintf(stderr,
-                   "[meraligner] index built: %zu entries, %.3f simulated s "
-                   "(amortized over %zu batch%s)\n",
-                   ref.index_entries(), ref.build_report().total_time_s(),
-                   batches.size(), batches.size() == 1 ? "" : "es");
+      obs::Log::info(
+          "index built: %zu entries, %.3f simulated s "
+          "(amortized over %zu batch%s)",
+          ref.index_entries(), ref.build_report().total_time_s(),
+          batches.size(), batches.size() == 1 ? "" : "es");
       if (args.has("stats")) ref.build_report().print(std::cerr);
 
       core::AlignSession session(ref, scfg);
@@ -350,6 +433,10 @@ int main(int argc, char** argv) {
         print_save_line(save_cache_dir);
       }
       print_total_line(total, ref.build_report().total_time_s(), align_time_s);
+      if (args.has("stats"))
+        print_cache_totals(session.seed_cache_counters(),
+                           session.target_cache_counters());
+      write_observability_files(trace_path, metrics_path, metrics_format);
       return 0;
     }
 
@@ -366,34 +453,33 @@ int main(int argc, char** argv) {
       ref = shard::ShardedReference::build(
           rt, targets, shard::plan_shards(targets, popt), icfg);
       if (ref->num_shards() != popt.shards)
-        std::fprintf(stderr,
-                     "[meraligner] warning: --shards %d clamped to %d (one "
-                     "shard per target is the maximum)\n",
-                     popt.shards, ref->num_shards());
+        obs::Log::warn(
+            "warning: --shards %d clamped to %d (one "
+            "shard per target is the maximum)",
+            popt.shards, ref->num_shards());
     }
-    std::fprintf(stderr,
-                 "[meraligner] sharded index built: %d shards, %u targets, "
-                 "%zu entries; build %.3f simulated s serial, %.3f s if each "
-                 "shard had its own runtime\n",
-                 ref->num_shards(), ref->num_targets(), ref->index_entries(),
-                 ref->build_time_serial_s(), ref->build_time_parallel_s());
+    obs::Log::info(
+        "sharded index built: %d shards, %u targets, "
+        "%zu entries; build %.3f simulated s serial, %.3f s if each "
+        "shard had its own runtime",
+        ref->num_shards(), ref->num_targets(), ref->index_entries(),
+        ref->build_time_serial_s(), ref->build_time_parallel_s());
     for (int s = 0; s < ref->num_shards(); ++s)
-      std::fprintf(stderr,
-                   "[meraligner]   shard %d: %u targets, %zu entries, "
-                   "build %.3f simulated s\n",
-                   s, ref->shard(s).targets().num_targets(),
-                   ref->shard(s).index_entries(),
-                   ref->shard(s).build_report().total_time_s());
+      obs::Log::info(
+          "  shard %d: %u targets, %zu entries, "
+          "build %.3f simulated s",
+          s, ref->shard(s).targets().num_targets(),
+          ref->shard(s).index_entries(),
+          ref->shard(s).build_report().total_time_s());
     if (args.has("stats")) ref->build_report().print(std::cerr);
 
     shard::ShardedSessionConfig sscfg{scfg, shard_parallel};
     shard::ShardedAlignSession session(*ref, sscfg);
-    std::fprintf(stderr,
-                 "[meraligner] shard executor: %d of %d shards in parallel "
-                 "per batch (%s)\n",
-                 session.effective_parallelism(rt.nranks()),
-                 session.num_shards(),
-                 shard_parallel > 0 ? "--shard-parallel" : "auto");
+    obs::Log::info(
+        "shard executor: %d of %d shards in parallel "
+        "per batch (%s)",
+        session.effective_parallelism(rt.nranks()), session.num_shards(),
+        shard_parallel > 0 ? "--shard-parallel" : "auto");
     if (!load_cache_dir.empty())
       load_caches_or_usage_error(session, rt, load_cache_dir, load_cache_dir);
     std::optional<core::SamFileSink> sam;
@@ -432,11 +518,30 @@ int main(int argc, char** argv) {
       print_save_line(save_cache_dir);
     }
     print_total_line(total, ref->build_time_serial_s(), align_serial_s);
-    std::fprintf(stderr,
-                 "[meraligner] per-runtime view (%d shards in parallel): "
-                 "%.3f s index + %.3f s aligning\n",
-                 ref->num_shards(), ref->build_time_parallel_s(),
-                 align_parallel_s);
+    obs::Log::info(
+        "per-runtime view (%d shards in parallel): "
+        "%.3f s index + %.3f s aligning",
+        ref->num_shards(), ref->build_time_parallel_s(), align_parallel_s);
+    if (args.has("stats")) {
+      cache::CacheCounters seed, target;
+      for (int s = 0; s < session.num_shards(); ++s) {
+        const auto& ss = session.shard_session(s);
+        const auto sc = ss.seed_cache_counters();
+        const auto tc = ss.target_cache_counters();
+        seed.hits += sc.hits;
+        seed.misses += sc.misses;
+        seed.insertions += sc.insertions;
+        seed.evictions += sc.evictions;
+        seed.admission_rejects += sc.admission_rejects;
+        target.hits += tc.hits;
+        target.misses += tc.misses;
+        target.insertions += tc.insertions;
+        target.evictions += tc.evictions;
+        target.admission_rejects += tc.admission_rejects;
+      }
+      print_cache_totals(seed, target);
+    }
+    write_observability_files(trace_path, metrics_path, metrics_format);
     return 0;
   } catch (const tools::UsageError& e) {
     std::fprintf(stderr, "meraligner: error: %s\n\n%s\n", e.what(), kUsage);
