@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "align/batch_sw.hpp"
+#include "align/pooled_queue.hpp"
 #include "align/scoring.hpp"
 #include "align/striped_sw.hpp"
 #include "bench_common.hpp"
@@ -196,6 +197,137 @@ int main(int argc, char** argv) {
                  "FATAL: widest tier (%s) speedup %.2fx < 2x over per-pair "
                  "striped on the multi-candidate workload\n",
                  mera::align::isa_name(widest), widest_speedup);
+    return 1;
+  }
+
+  // ---- cross-read pooling: per-read flushes vs PooledExtensionQueue -------
+  // The aligning phase's real workload is the OPPOSITE of the one above:
+  // most reads produce only a handful of candidates, so a per-read flush
+  // fills 3 of 64 AVX-512 lanes. Pooling accumulates candidates across reads
+  // in length-class buckets and flushes only full lane groups. Same scores
+  // by contract; the lane-occupancy ratio is the figure of merit.
+  const std::size_t nreads2 = smoke ? 192 : 768;
+  const std::size_t ncand2 = 3;
+  const std::size_t lane_width = mera::align::isa_lanes8(SwIsa::kAuto);
+  // Mixed read lengths (81..121) spread the pool over two length classes
+  // (width 32: classes 2 and 3), so pooling has to merge across reads AND
+  // keep classes apart — the shape the session's pooled path sees.
+  std::vector<ReadCase> cases2(nreads2);
+  {
+    std::mt19937_64 rng(178);
+    for (std::size_t i = 0; i < nreads2; ++i) {
+      const std::size_t len = 81 + (i % 5) * 10;
+      auto one = make_cases(1, ncand2, len, rng());
+      cases2[i] = std::move(one[0]);
+    }
+  }
+  const double npairs2 = static_cast<double>(nreads2 * ncand2);
+  std::printf(
+      "\ncross-read pooling: %zu reads x %zu candidates, read lengths "
+      "81..121, lane width %zu\n",
+      nreads2, ncand2, lane_width);
+
+  // (a) per-read flushing: one flush per read, lanes mostly idle.
+  std::vector<StripedResult> perread;
+  mera::align::LaneStats perread_ls;
+  double perread_best_s = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<StripedResult> out;
+    out.reserve(nreads2 * ncand2);
+    mera::align::LaneStats ls;
+    const double t0 = now_s();
+    for (const auto& rc : cases2) {
+      BatchSwScorer scorer(std::span<const std::uint8_t>(rc.query), sc);
+      for (const auto& t : rc.targets)
+        scorer.add(std::span<const std::uint8_t>(t));
+      auto res = scorer.flush();
+      out.insert(out.end(), res.begin(), res.end());
+      ls += scorer.lane_stats();
+    }
+    const double dt = now_s() - t0;
+    if (rep == 0 || dt < perread_best_s) perread_best_s = dt;
+    if (rep == 0) {
+      perread = std::move(out);
+      perread_ls = ls;
+    }
+  }
+
+  // (b) pooled flushing: candidates from every read share one queue; tags
+  // carry provenance so results land back at their global candidate index.
+  std::vector<StripedResult> pooled(nreads2 * ncand2);
+  mera::align::LaneStats pooled_ls;
+  double pooled_best_s = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<StripedResult> out(nreads2 * ncand2);
+    mera::align::PooledQueueConfig qcfg;
+    qcfg.scoring = sc;
+    mera::align::PooledExtensionQueue queue(
+        qcfg, [&out](std::uint64_t tag, const StripedResult& r) {
+          out[tag] = r;
+        });
+    const double t0 = now_s();
+    for (std::size_t i = 0; i < nreads2; ++i) {
+      const auto qid = queue.add_query(
+          std::span<const std::uint8_t>(cases2[i].query));
+      for (std::size_t c = 0; c < ncand2; ++c)
+        queue.enqueue(qid,
+                      std::span<const std::uint8_t>(cases2[i].targets[c]),
+                      static_cast<std::uint64_t>(i * ncand2 + c));
+    }
+    queue.drain();
+    const double dt = now_s() - t0;
+    if (rep == 0 || dt < pooled_best_s) pooled_best_s = dt;
+    if (rep == 0) {
+      pooled = std::move(out);
+      pooled_ls = queue.lane_stats();
+    }
+  }
+
+  // Bit-identity gate: pooling changes when candidates are scored, never
+  // what their scores are.
+  for (std::size_t i = 0; i < perread.size(); ++i) {
+    if (pooled[i].score != perread[i].score ||
+        pooled[i].t_end != perread[i].t_end) {
+      std::fprintf(stderr,
+                   "FATAL: pooled pair %zu diverged from per-read "
+                   "(score %d vs %d, t_end %zu vs %zu)\n",
+                   i, pooled[i].score, perread[i].score, pooled[i].t_end,
+                   perread[i].t_end);
+      return 1;
+    }
+  }
+
+  const double perread_occ = perread_ls.mean_occupancy();
+  const double pooled_occ = pooled_ls.mean_occupancy();
+  const double occ_ratio = perread_occ > 0.0 ? pooled_occ / perread_occ : 0.0;
+  std::printf("%-10s %12s %16s %12s\n", "flush", "best(s)", "candidates/s",
+              "occupancy");
+  std::printf("%-10s %12.4f %16.0f %11.1f%%\n", "per-read", perread_best_s,
+              npairs2 / perread_best_s, 100.0 * perread_occ);
+  std::printf("%-10s %12.4f %16.0f %11.1f%%\n", "pooled", pooled_best_s,
+              npairs2 / pooled_best_s, 100.0 * pooled_occ);
+  std::printf("(pooled/per-read occupancy ratio: %.1fx; streams "
+              "bit-identical)\n",
+              occ_ratio);
+  json.config("perread_flush");
+  json.metric("best_s", perread_best_s);
+  json.metric("candidates_per_s", npairs2 / perread_best_s);
+  json.metric("mean_lane_occupancy", perread_occ);
+  json.metric("lane_width", static_cast<double>(lane_width));
+  json.config("pooled_flush");
+  json.metric("best_s", pooled_best_s);
+  json.metric("candidates_per_s", npairs2 / pooled_best_s);
+  json.metric("mean_lane_occupancy", pooled_occ);
+  json.metric("occupancy_ratio", occ_ratio);
+
+  // On any SIMD tier pooling must at least double mean lane occupancy on
+  // this few-candidates-per-read workload — that is the whole feature.
+  if (lane_width > 1 &&
+      (pooled_occ <= perread_occ || occ_ratio < 2.0)) {
+    std::fprintf(stderr,
+                 "FATAL: pooled occupancy %.3f vs per-read %.3f "
+                 "(ratio %.2fx < 2x) at lane width %zu\n",
+                 pooled_occ, perread_occ, occ_ratio, lane_width);
     return 1;
   }
 

@@ -11,11 +11,6 @@ namespace mera::align {
 
 namespace {
 
-/// Padding code for lanes past their target's end: never equal to a residue
-/// code, so padded columns can only score as mismatches (and are excluded
-/// from best/t_end tracking anyway).
-constexpr std::uint8_t kPadCode = 0xFF;
-
 // __builtin_cpu_supports needs a string literal, hence one probe per tier.
 #if defined(__x86_64__) || defined(__i386__)
 bool cpu_has_sse2() noexcept { return __builtin_cpu_supports("sse2"); }
@@ -38,6 +33,13 @@ const detail::BatchKernel* kernel_for(SwIsa isa) noexcept {
     default:
       return nullptr;
   }
+}
+
+std::string supported_tier_list() {
+  std::string s = "scalar";
+  for (SwIsa isa : {SwIsa::kSse2, SwIsa::kAvx2, SwIsa::kAvx512})
+    if (isa_supported(isa)) s += std::string("|") + isa_name(isa);
+  return s;
 }
 
 }  // namespace
@@ -98,7 +100,8 @@ SwIsa resolve_isa(SwIsa requested) {
       if (!parsed)
         throw std::invalid_argument(
             std::string("MERA_SW_ISA: unknown ISA '") + env +
-            "' (expected auto|scalar|sse2|avx2|avx512)");
+            "' (expected auto|scalar|sse2|avx2|avx512; this host supports " +
+            supported_tier_list() + " — try MERA_SW_ISA=help)");
       isa = *parsed;
     }
   }
@@ -106,23 +109,122 @@ SwIsa resolve_isa(SwIsa requested) {
   if (!isa_supported(isa))
     throw std::invalid_argument(
         std::string("SW ISA '") + isa_name(isa) +
-        "' is not available (not compiled in or not supported by this CPU)");
+        "' is not available (not compiled in or not supported by this CPU; "
+        "this host supports " +
+        supported_tier_list() + ")");
   return isa;
+}
+
+std::size_t isa_lanes8(SwIsa isa) {
+  const SwIsa resolved = resolve_isa(isa);
+  const detail::BatchKernel* k =
+      resolved == SwIsa::kScalar ? nullptr : kernel_for(resolved);
+  return k == nullptr ? 1 : static_cast<std::size_t>(k->lanes8);
+}
+
+std::string isa_support_summary() {
+  std::string s = "SW dispatch tiers in this build on this CPU:\n";
+  for (SwIsa isa :
+       {SwIsa::kScalar, SwIsa::kSse2, SwIsa::kAvx2, SwIsa::kAvx512}) {
+    const bool ok = isa_supported(isa);
+    const detail::BatchKernel* k = kernel_for(isa);
+    s += "  ";
+    s += isa_name(isa);
+    for (std::size_t pad = std::string(isa_name(isa)).size(); pad < 8; ++pad)
+      s += ' ';
+    if (isa == SwIsa::kScalar) {
+      s += "supported (reference; 1 candidate per sweep)\n";
+    } else if (ok) {
+      s += "supported (" + std::to_string(k->lanes8) + "x8-bit / " +
+           std::to_string(k->lanes16) + "x16-bit lanes)\n";
+    } else if (k == nullptr) {
+      s += "not compiled into this binary\n";
+    } else {
+      s += "not supported by this CPU\n";
+    }
+  }
+  s += "auto resolves to: ";
+  s += isa_name(detect_isa());
+  s += "\n";
+  return s;
+}
+
+void LaneStats::record_group(std::size_t filled, std::size_t width) noexcept {
+  if (width == 0) return;
+  ++groups;
+  lanes_filled += filled;
+  lanes_wasted += width - filled;
+  // Octile index for occupancy in (i/8, (i+1)/8]: ceil(8*f/w) - 1.
+  std::size_t idx =
+      filled == 0 ? 0 : (filled * kOccBuckets + width - 1) / width - 1;
+  occupancy[std::min(idx, kOccBuckets - 1)] += 1;
+}
+
+double LaneStats::mean_occupancy() const noexcept {
+  const std::uint64_t total = lanes_filled + lanes_wasted;
+  return total == 0 ? 0.0
+                    : static_cast<double>(lanes_filled) /
+                          static_cast<double>(total);
+}
+
+LaneStats& LaneStats::operator+=(const LaneStats& o) noexcept {
+  flushes += o.flushes;
+  groups += o.groups;
+  lanes_filled += o.lanes_filled;
+  lanes_wasted += o.lanes_wasted;
+  for (std::size_t i = 0; i < kOccBuckets; ++i) occupancy[i] += o.occupancy[i];
+  return *this;
+}
+
+BatchSwScorer::BatchSwScorer(const Scoring& sc, SwIsa isa)
+    : sc_(sc), isa_(resolve_isa(isa)) {
+  bias_ = std::max(0, -sc_.mismatch);
+  pad_safe_ = sc_.mismatch <= 0 && sc_.gap_open >= 0 && sc_.gap_extend >= 0;
 }
 
 BatchSwScorer::BatchSwScorer(std::span<const std::uint8_t> query_codes,
                              const Scoring& sc, SwIsa isa)
-    : query_(query_codes.begin(), query_codes.end()),
-      sc_(sc),
-      isa_(resolve_isa(isa)) {
-  bias_ = std::max(0, -sc_.mismatch);
+    : BatchSwScorer(sc, isa) {
+  add_query(query_codes);
+}
+
+std::size_t BatchSwScorer::add_query(
+    std::span<const std::uint8_t> query_codes) {
+  std::string key(reinterpret_cast<const char*>(query_codes.data()),
+                  query_codes.size());
+  const auto [it, inserted] = query_ids_.try_emplace(key, queries_.size());
+  if (inserted) {
+    queries_.emplace_back(query_codes.begin(), query_codes.end());
+    profiles_.emplace_back();  // built lazily on first per-pair use
+  }
+  return it->second;
+}
+
+std::size_t BatchSwScorer::add(std::size_t qid,
+                               std::span<const std::uint8_t> target_codes) {
+  if (qid >= queries_.size())
+    throw std::out_of_range("BatchSwScorer::add: unknown query id");
+  offs_.push_back(pool_.size());
+  lens_.push_back(target_codes.size());
+  qids_.push_back(qid);
+  pool_.insert(pool_.end(), target_codes.begin(), target_codes.end());
+  return lens_.size() - 1;
 }
 
 std::size_t BatchSwScorer::add(std::span<const std::uint8_t> target_codes) {
-  offs_.push_back(pool_.size());
-  lens_.push_back(target_codes.size());
-  pool_.insert(pool_.end(), target_codes.begin(), target_codes.end());
-  return lens_.size() - 1;
+  if (queries_.empty())
+    throw std::logic_error(
+        "BatchSwScorer::add(target): no query registered (use the "
+        "single-query constructor or add_query first)");
+  return add(std::size_t{0}, target_codes);
+}
+
+const StripedSmithWaterman& BatchSwScorer::profile_for(std::size_t qid) {
+  auto& p = profiles_[qid];
+  if (!p)
+    p = std::make_unique<StripedSmithWaterman>(
+        std::span<const std::uint8_t>(queries_[qid]), sc_);
+  return *p;
 }
 
 std::vector<StripedResult> BatchSwScorer::flush() {
@@ -132,22 +234,29 @@ std::vector<StripedResult> BatchSwScorer::flush() {
   // Candidates worth scoring; everything else keeps the default result,
   // matching StripedSmithWaterman::align on empty inputs.
   std::vector<std::size_t> live;
-  if (!query_.empty())
-    for (std::size_t c = 0; c < n; ++c)
-      if (lens_[c] > 0) live.push_back(c);
+  for (std::size_t c = 0; c < n; ++c)
+    if (lens_[c] > 0 && !queries_[qids_[c]].empty()) live.push_back(c);
+  if (!live.empty()) ++lane_stats_.flushes;
 
   const detail::BatchKernel* kernel =
       isa_ == SwIsa::kScalar ? nullptr : kernel_for(isa_);
-  const std::span<const std::uint8_t> q(query_);
+
+  const auto target_span = [&](std::size_t c) {
+    return std::span<const std::uint8_t>(pool_.data() + offs_[c], lens_[c]);
+  };
+  // Per-pair backstop: the reused striped profile is bit-identical to
+  // striped_scalar_score per the PR 6 kernel contract (and literally IS the
+  // scalar reference under MERA_FORCE_SCALAR_SW builds).
+  const auto score_per_pair = [&](std::size_t c) {
+    out[c] = profile_for(qids_[c]).align(target_span(c));
+  };
 
   if (kernel == nullptr) {
-    for (std::size_t c : live)
-      out[c] = striped_scalar_score(
-          q, std::span<const std::uint8_t>(pool_.data() + offs_[c], lens_[c]),
-          sc_);
+    for (std::size_t c : live) score_per_pair(c);
     pool_.clear();
     offs_.clear();
     lens_.clear();
+    qids_.clear();
     return out;
   }
 
@@ -158,27 +267,43 @@ std::vector<StripedResult> BatchSwScorer::flush() {
   std::vector<std::size_t> escalate;
   {
     const std::size_t L = static_cast<std::size_t>(kernel->lanes8);
-    std::vector<std::size_t> len(L);
+    std::vector<std::size_t> len(L), qlen(L);
     std::vector<int> best(L);
     std::vector<std::size_t> t_end(L);
     std::vector<std::uint8_t> sat(L);
     for (std::size_t g = 0; g < live.size(); g += L) {
       const std::size_t gn = std::min(L, live.size() - g);
       std::fill(len.begin(), len.end(), std::size_t{0});
-      std::size_t nmax = 0;
+      std::fill(qlen.begin(), qlen.end(), std::size_t{0});
+      std::size_t nmax = 0, mmax = 0, mmin = SIZE_MAX;
       for (std::size_t l = 0; l < gn; ++l) {
-        len[l] = lens_[live[g + l]];
+        const std::size_t c = live[g + l];
+        len[l] = lens_[c];
+        qlen[l] = queries_[qids_[c]].size();
         nmax = std::max(nmax, len[l]);
+        mmax = std::max(mmax, qlen[l]);
+        mmin = std::min(mmin, qlen[l]);
       }
-      tbuf8_.assign(nmax * L, kPadCode);
+      // Row padding is only provably inert for pad-safe scoring; a
+      // mixed-length group under an exotic scheme scores per pair instead.
+      if (!pad_safe_ && mmin != mmax) {
+        for (std::size_t l = 0; l < gn; ++l) score_per_pair(live[g + l]);
+        continue;
+      }
+      tbuf8_.assign(nmax * L, detail::kTargetPadCode);
+      qbuf8_.assign(mmax * L, detail::kQueryPadCode);
       for (std::size_t l = 0; l < gn; ++l) {
-        const std::uint8_t* src = pool_.data() + offs_[live[g + l]];
+        const std::size_t c = live[g + l];
+        const std::uint8_t* src = pool_.data() + offs_[c];
         for (std::size_t j = 0; j < len[l]; ++j) tbuf8_[j * L + l] = src[j];
+        const std::uint8_t* qsrc = queries_[qids_[c]].data();
+        for (std::size_t i = 0; i < qlen[l]; ++i) qbuf8_[i * L + l] = qsrc[i];
       }
       std::fill(sat.begin(), sat.end(), std::uint8_t{0});
       detail::BatchPass8Args args;
-      args.query = query_.data();
-      args.m = query_.size();
+      args.qbuf = qbuf8_.data();
+      args.qlen = qlen.data();
+      args.m = mmax;
       args.tbuf = tbuf8_.data();
       args.len = len.data();
       args.nmax = nmax;
@@ -191,6 +316,7 @@ std::vector<StripedResult> BatchSwScorer::flush() {
       args.t_end = t_end.data();
       args.saturated = sat.data();
       kernel->pass8(args);
+      lane_stats_.record_group(gn, L);
       for (std::size_t l = 0; l < gn; ++l) {
         const std::size_t c = live[g + l];
         if (sat[l]) {
@@ -205,28 +331,47 @@ std::vector<StripedResult> BatchSwScorer::flush() {
   // 16-bit rescore of saturated candidates, same grouping scheme.
   if (!escalate.empty()) {
     const std::size_t L = static_cast<std::size_t>(kernel->lanes16);
-    std::vector<std::size_t> len(L);
+    std::vector<std::size_t> len(L), qlen(L);
     std::vector<int> best(L);
     std::vector<std::size_t> t_end(L);
     std::vector<std::uint8_t> sat(L);
     for (std::size_t g = 0; g < escalate.size(); g += L) {
       const std::size_t gn = std::min(L, escalate.size() - g);
       std::fill(len.begin(), len.end(), std::size_t{0});
-      std::size_t nmax = 0;
+      std::fill(qlen.begin(), qlen.end(), std::size_t{0});
+      std::size_t nmax = 0, mmax = 0, mmin = SIZE_MAX;
       for (std::size_t l = 0; l < gn; ++l) {
-        len[l] = lens_[escalate[g + l]];
+        const std::size_t c = escalate[g + l];
+        len[l] = lens_[c];
+        qlen[l] = queries_[qids_[c]].size();
         nmax = std::max(nmax, len[l]);
+        mmax = std::max(mmax, qlen[l]);
+        mmin = std::min(mmin, qlen[l]);
       }
-      tbuf16_.assign(nmax * L, static_cast<std::int16_t>(kPadCode));
+      if (!pad_safe_ && mmin != mmax) {
+        for (std::size_t l = 0; l < gn; ++l) {
+          const std::size_t c = escalate[g + l];
+          score_per_pair(c);
+          out[c].used_16bit = true;
+        }
+        continue;
+      }
+      tbuf16_.assign(nmax * L, static_cast<std::int16_t>(detail::kTargetPadCode));
+      qbuf16_.assign(mmax * L, static_cast<std::int16_t>(detail::kQueryPadCode));
       for (std::size_t l = 0; l < gn; ++l) {
-        const std::uint8_t* src = pool_.data() + offs_[escalate[g + l]];
+        const std::size_t c = escalate[g + l];
+        const std::uint8_t* src = pool_.data() + offs_[c];
         for (std::size_t j = 0; j < len[l]; ++j)
           tbuf16_[j * L + l] = static_cast<std::int16_t>(src[j]);
+        const std::uint8_t* qsrc = queries_[qids_[c]].data();
+        for (std::size_t i = 0; i < qlen[l]; ++i)
+          qbuf16_[i * L + l] = static_cast<std::int16_t>(qsrc[i]);
       }
       std::fill(sat.begin(), sat.end(), std::uint8_t{0});
       detail::BatchPass16Args args;
-      args.query = query_.data();
-      args.m = query_.size();
+      args.qbuf = qbuf16_.data();
+      args.qlen = qlen.data();
+      args.m = mmax;
       args.tbuf = tbuf16_.data();
       args.len = len.data();
       args.nmax = nmax;
@@ -238,14 +383,12 @@ std::vector<StripedResult> BatchSwScorer::flush() {
       args.t_end = t_end.data();
       args.saturated = sat.data();
       kernel->pass16(args);
+      lane_stats_.record_group(gn, L);
       for (std::size_t l = 0; l < gn; ++l) {
         const std::size_t c = escalate[g + l];
         if (sat[l]) {
-          // 16-bit saturation too (score >= 32767): exact scalar backstop.
-          out[c] = striped_scalar_score(
-              q,
-              std::span<const std::uint8_t>(pool_.data() + offs_[c], lens_[c]),
-              sc_);
+          // 16-bit saturation too (score >= 32767): exact per-pair backstop.
+          score_per_pair(c);
           out[c].used_16bit = true;
         } else {
           out[c] = {best[l], t_end[l], true};
@@ -257,6 +400,7 @@ std::vector<StripedResult> BatchSwScorer::flush() {
   pool_.clear();
   offs_.clear();
   lens_.clear();
+  qids_.clear();
   return out;
 }
 

@@ -1,17 +1,25 @@
 // Inter-candidate SIMD batch Smith-Waterman with runtime ISA dispatch.
 //
 // The striped kernel (striped_sw.hpp) vectorizes WITHIN one query/target
-// pair; this engine vectorizes ACROSS candidates: the many candidate windows
-// one read accumulates are packed one-per-lane into SSE2 / AVX2 / AVX-512
-// 8-bit vectors and scored in a single DP sweep (the way HMMER tiers its
-// dp_vector kernels and mmseqs2 drives smith_waterman_sse2 from Matcher).
-// Lanes whose 8-bit score saturates are transparently re-scored in 16-bit
-// lanes; a 16-bit-saturated lane falls back to the scalar reference.
+// pair; this engine vectorizes ACROSS candidates: candidate windows are
+// packed one-per-lane into SSE2 / AVX2 / AVX-512 8-bit vectors and scored in
+// a single DP sweep (the way HMMER tiers its dp_vector kernels and mmseqs2
+// drives smith_waterman_sse2 from Matcher). Lanes whose 8-bit score
+// saturates are transparently re-scored in 16-bit lanes; a 16-bit-saturated
+// lane falls back to the (bit-identical) per-pair striped engine.
+//
+// Since the cross-read pooling layer (pooled_queue.hpp) the scorer is
+// multi-query: each lane carries its own query, so candidates from many
+// reads share one sweep. Register queries with add_query() — duplicate query
+// bytes dedup to one id and share one lazily built striped profile across
+// flushes — then enqueue pairs with add(qid, target). The single-query
+// constructor and add(target) remain as a convenience over query id 0.
 //
 // Contract: for every candidate, score, t_end (smallest-t_end tie-break) and
 // used_16bit are bit-identical to StripedSmithWaterman::align and to
 // striped_scalar_score, on every dispatch tier — property-tested by
-// tests/test_batch_sw.cpp across all tiers the host supports.
+// tests/test_batch_sw.cpp and tests/test_pooled_sw.cpp across all tiers the
+// host supports.
 //
 // Dispatch: the widest ISA the CPU supports is probed once per scorer
 // (cpuid via __builtin_cpu_supports); `MERA_SW_ISA` in the environment (or
@@ -19,10 +27,14 @@
 // MERA_FORCE_SCALAR_SW builds only the scalar tier exists.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "align/scoring.hpp"
@@ -50,23 +62,70 @@ enum class SwIsa : std::uint8_t { kAuto = 0, kScalar, kSse2, kAvx2, kAvx512 };
 /// CPU/build does not support — forcing a tier is for testing, and a forced
 /// tier that silently degrades would test nothing.
 [[nodiscard]] SwIsa resolve_isa(SwIsa requested);
+/// 8-bit lane width of a concrete tier (16 / 32 / 64); 1 for kScalar.
+/// Resolves kAuto first.
+[[nodiscard]] std::size_t isa_lanes8(SwIsa isa);
+/// Human-readable per-tier support report for this binary on this CPU —
+/// what `--sw-isa help` / `MERA_SW_ISA=help` print.
+[[nodiscard]] std::string isa_support_summary();
 
-/// Scores one query against a batch of independent candidate targets.
+/// Lane-occupancy accounting for the batch engine's SIMD sweeps. Each
+/// lane-group sweep of width W carrying F live candidates records F filled
+/// and W-F wasted lanes plus one octile-histogram sample of F/W. Per-pair
+/// fallbacks (scalar tier, exotic scoring) record nothing — occupancy
+/// describes vector sweeps only. These feed the mera_sw_lane_* obs series;
+/// they live outside PipelineStats because pooled and per-read flushing
+/// produce identical PipelineStats by contract but different lane shapes by
+/// design.
+struct LaneStats {
+  static constexpr std::size_t kOccBuckets = 8;
+  std::uint64_t flushes = 0;       ///< flush() calls scoring >= 1 candidate
+  std::uint64_t groups = 0;        ///< SIMD lane-group sweeps (8- and 16-bit)
+  std::uint64_t lanes_filled = 0;  ///< lanes carrying a live candidate
+  std::uint64_t lanes_wasted = 0;  ///< idle lanes in those sweeps
+  /// Octile histogram of per-group occupancy: bucket i counts groups with
+  /// filled/width in (i/8, (i+1)/8].
+  std::array<std::uint64_t, kOccBuckets> occupancy{};
+
+  void record_group(std::size_t filled, std::size_t width) noexcept;
+  /// lanes_filled / (lanes_filled + lanes_wasted); 0 when no sweeps ran.
+  [[nodiscard]] double mean_occupancy() const noexcept;
+  LaneStats& operator+=(const LaneStats& o) noexcept;
+};
+
+/// Scores query/target candidate pairs in SIMD lane groups.
 ///
+/// Single-query (per-read) form:
 ///   BatchSwScorer scorer(query_codes, scoring);     // per oriented query
 ///   for (cand : candidates) scorer.add(cand.window_codes);
 ///   const auto results = scorer.flush();            // insertion order
 ///
+/// Multi-query (cross-read pooling) form:
+///   BatchSwScorer scorer(scoring);
+///   const auto qid = scorer.add_query(query_codes); // dedups by bytes
+///   scorer.add(qid, cand.window_codes);
+///   const auto results = scorer.flush();            // insertion order
+///
 /// flush() packs pending candidates into lane groups of the resolved tier's
 /// width and returns one StripedResult per candidate. add/flush can be
-/// repeated; the scorer holds no per-target state between flushes.
+/// repeated; registered queries and their lazily built striped profiles
+/// persist across flushes, only the pending-candidate queue is cleared.
 class BatchSwScorer {
  public:
   explicit BatchSwScorer(std::span<const std::uint8_t> query_codes,
                          const Scoring& sc = {}, SwIsa isa = SwIsa::kAuto);
+  /// Multi-query mode: no initial query; register them with add_query().
+  explicit BatchSwScorer(const Scoring& sc = {}, SwIsa isa = SwIsa::kAuto);
 
-  /// Enqueue one candidate target (codes are copied); returns its index in
-  /// the batch, which is its index into flush()'s result vector.
+  /// Register a query (codes are copied). Identical query bytes return the
+  /// same id — and share one lazily built striped profile across flushes.
+  std::size_t add_query(std::span<const std::uint8_t> query_codes);
+
+  /// Enqueue one candidate target against query `qid` (codes are copied);
+  /// returns its index in the batch, which is its index into flush()'s
+  /// result vector.
+  std::size_t add(std::size_t qid, std::span<const std::uint8_t> target_codes);
+  /// Single-query convenience: the candidate scores against query id 0.
   std::size_t add(std::span<const std::uint8_t> target_codes);
 
   /// Score every pending candidate and clear the queue. Results are in
@@ -74,22 +133,48 @@ class BatchSwScorer {
   [[nodiscard]] std::vector<StripedResult> flush();
 
   [[nodiscard]] std::size_t pending() const noexcept { return lens_.size(); }
-  [[nodiscard]] std::size_t query_len() const noexcept { return query_.size(); }
+  [[nodiscard]] std::size_t num_queries() const noexcept {
+    return queries_.size();
+  }
+  /// Codes of a registered query (valid for the scorer's lifetime).
+  [[nodiscard]] std::span<const std::uint8_t> query_codes(
+      std::size_t qid) const {
+    return queries_[qid];
+  }
+  /// Length of query id 0 (the single-query form's query); 0 if none.
+  [[nodiscard]] std::size_t query_len() const noexcept {
+    return queries_.empty() ? 0 : queries_.front().size();
+  }
   [[nodiscard]] const Scoring& scoring() const noexcept { return sc_; }
   /// The concrete tier this scorer dispatches to (never kAuto).
   [[nodiscard]] SwIsa isa() const noexcept { return isa_; }
+  /// Cumulative lane occupancy over every flush of this scorer.
+  [[nodiscard]] const LaneStats& lane_stats() const noexcept {
+    return lane_stats_;
+  }
 
  private:
-  std::vector<std::uint8_t> query_;
+  const StripedSmithWaterman& profile_for(std::size_t qid);
+
   Scoring sc_;
   SwIsa isa_;
   int bias_ = 0;
-  // Pending candidates: concatenated codes + per-candidate extents.
+  /// Padded query rows are provably inert only for mismatch <= 0 and
+  /// non-negative gap penalties (see batch_sw_detail.hpp); other schemes
+  /// route mixed-length groups through the per-pair striped engine.
+  bool pad_safe_ = true;
+  // Registered queries: stable byte buffers + bytes->id dedup + lazy
+  // striped profiles (built on first per-pair use, reused across flushes).
+  std::vector<std::vector<std::uint8_t>> queries_;
+  std::unordered_map<std::string, std::size_t> query_ids_;
+  std::vector<std::unique_ptr<StripedSmithWaterman>> profiles_;
+  // Pending candidates: concatenated codes + per-candidate extents + query.
   std::vector<std::uint8_t> pool_;
-  std::vector<std::size_t> offs_, lens_;
+  std::vector<std::size_t> offs_, lens_, qids_;
   // Lane-group scratch, reused across flushes.
-  std::vector<std::uint8_t> tbuf8_;
-  std::vector<std::int16_t> tbuf16_;
+  std::vector<std::uint8_t> tbuf8_, qbuf8_;
+  std::vector<std::int16_t> tbuf16_, qbuf16_;
+  LaneStats lane_stats_;
 };
 
 /// One-shot convenience over BatchSwScorer for `query` vs each of `targets`.

@@ -9,15 +9,31 @@
 
 namespace mera::align::detail {
 
-/// One 8-bit lane-group pass: scores `lanes8` candidates against the shared
-/// query in saturating unsigned arithmetic (values biased by `bias`, exactly
-/// like the striped kernel's 8-bit pass, so saturation — and therefore
-/// used_16bit — is bit-identical per pair).
+/// Target columns are padded with 0xFF past len[l]; query rows are padded
+/// with 0xFE past qlen[l]. DNA codes are 0–3, so neither pad ever equals a
+/// residue code — and the two pads never equal each other, so a padded row
+/// meeting a padded column still scores a mismatch. With mismatch <= 0 and
+/// both gap penalties >= 0 every cell in a padded row derives from real
+/// cells through non-increasing operations, so a padded row can never
+/// STRICTLY exceed the running best — and the strict `>` best-update means
+/// score / t_end / saturation are untouched by row padding. BatchSwScorer
+/// verifies that precondition and falls back to per-pair scoring for exotic
+/// scoring schemes that violate it.
+inline constexpr std::uint8_t kTargetPadCode = 0xFF;
+inline constexpr std::uint8_t kQueryPadCode = 0xFE;
+
+/// One 8-bit lane-group pass: scores `lanes8` candidates, one query/target
+/// pair per lane, in saturating unsigned arithmetic (values biased by
+/// `bias`, exactly like the striped kernel's 8-bit pass, so saturation —
+/// and therefore used_16bit — is bit-identical per pair).
 struct BatchPass8Args {
-  const std::uint8_t* query = nullptr;  ///< shared query codes, length m
-  std::size_t m = 0;
+  /// Interleaved queries: qbuf[i * lanes + l] = code of lane l's query at
+  /// row i, padded with kQueryPadCode past qlen[l].
+  const std::uint8_t* qbuf = nullptr;
+  const std::size_t* qlen = nullptr;  ///< per-lane query length
+  std::size_t m = 0;                  ///< max(qlen), rows in qbuf
   /// Interleaved targets: tbuf[j * lanes + l] = code of candidate l at
-  /// column j, padded with 0xFF (never equal to a residue code) past len[l].
+  /// column j, padded with kTargetPadCode past len[l].
   const std::uint8_t* tbuf = nullptr;
   const std::size_t* len = nullptr;  ///< per-lane target length
   std::size_t nmax = 0;              ///< max(len), columns in tbuf
@@ -35,9 +51,13 @@ struct BatchPass8Args {
 /// One 16-bit lane-group pass for candidates whose 8-bit lane saturated.
 /// Signed arithmetic with an explicit zero floor, mirroring striped_i16.
 struct BatchPass16Args {
-  const std::uint8_t* query = nullptr;
-  std::size_t m = 0;
-  /// Interleaved targets as int16 codes, padded with 0xFF past len[l].
+  /// Interleaved queries as int16 codes, padded with kQueryPadCode past
+  /// qlen[l].
+  const std::int16_t* qbuf = nullptr;
+  const std::size_t* qlen = nullptr;  ///< per-lane query length
+  std::size_t m = 0;                  ///< max(qlen), rows in qbuf
+  /// Interleaved targets as int16 codes, padded with kTargetPadCode past
+  /// len[l].
   const std::int16_t* tbuf = nullptr;
   const std::size_t* len = nullptr;
   std::size_t nmax = 0;

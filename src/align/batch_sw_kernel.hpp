@@ -3,12 +3,15 @@
 // include batch_sw.hpp instead.
 //
 // Layout: candidate l lives in lane l; column j is target position j; the
-// inner loop walks the shared query's rows. Because rows are visited in
-// order within a column, the vertical-gap term F is computed exactly — no
-// striping, so no lazy-F fixup loop. The arithmetic (biased unsigned
-// saturating 8-bit, zero-floored signed 16-bit) copies the striped kernel's
-// cell updates operation-for-operation, which is what makes score / t_end /
-// used_16bit bit-identical per pair across every engine and tier.
+// inner loop walks the query rows, one query PER LANE (lanes whose query is
+// shorter than the group's row count see kQueryPadCode rows — inert under
+// the pad-safety precondition documented in batch_sw_detail.hpp). Because
+// rows are visited in order within a column, the vertical-gap term F is
+// computed exactly — no striping, so no lazy-F fixup loop. The arithmetic
+// (biased unsigned saturating 8-bit, zero-floored signed 16-bit) copies the
+// striped kernel's cell updates operation-for-operation, which is what
+// makes score / t_end / used_16bit bit-identical per pair across every
+// engine and tier.
 //
 // Recurrence (match the scalar reference in striped_scalar_score):
 //   E(i,j) = max(E(i,j-1) - ge, H(i,j-1) - go)     horizontal gap
@@ -54,7 +57,7 @@ void batch_pass8(const BatchPass8Args& a) {
       const V vHup = T::load(Hrow.data() + i * L);  // H(i, j-1)
       const V vE = T::max_u8(T::subs_u8(T::load(Evec.data() + i * L), vGapE),
                              T::subs_u8(vHup, vGapO));
-      const V vSub = T::sel_eq8(vT, T::set1_u8(a.query[i]), vMatch, vMism);
+      const V vSub = T::sel_eq8(vT, T::load(a.qbuf + i * L), vMatch, vMism);
       V vH = T::subs_u8(T::adds_u8(vHdiag, vSub), vBias);
       vH = T::max_u8(vH, vE);
       vH = T::max_u8(vH, vF);
@@ -72,7 +75,7 @@ void batch_pass8(const BatchPass8Args& a) {
       }
   }
   for (int l = 0; l < L; ++l) {
-    if (a.len[l] == 0) continue;
+    if (a.len[l] == 0 || a.qlen[l] == 0) continue;
     a.best[l] = best[l];
     a.t_end[l] = t_end[l];
     a.saturated[l] = best[l] >= 255 - a.bias ? 1 : 0;
@@ -104,9 +107,7 @@ void batch_pass16(const BatchPass16Args& a) {
           T::max_i16(T::subs_i16(vHup, vGapO), T::zero());
       const V vE =
           T::max_i16(T::subs_i16(T::load(Evec.data() + i * L), vGapE), vHgapUp);
-      const V vSub =
-          T::sel_eq16(vT, T::set1_i16(static_cast<std::int16_t>(a.query[i])),
-                      vMatch, vMism);
+      const V vSub = T::sel_eq16(vT, T::load(a.qbuf + i * L), vMatch, vMism);
       V vH = T::max_i16(T::adds_i16(vHdiag, vSub), T::zero());
       vH = T::max_i16(vH, vE);
       vH = T::max_i16(vH, vF);
@@ -125,7 +126,7 @@ void batch_pass16(const BatchPass16Args& a) {
       }
   }
   for (int l = 0; l < L; ++l) {
-    if (a.len[l] == 0) continue;
+    if (a.len[l] == 0 || a.qlen[l] == 0) continue;
     a.best[l] = best[l];
     a.t_end[l] = t_end[l];
     a.saturated[l] = best[l] >= 32767 ? 1 : 0;

@@ -5,33 +5,22 @@
 
 namespace mera::align {
 
-namespace {
-
-/// Target window implied by a seed: the query's projected span on the seed
-/// diagonal, padded by window_pad and clipped to the target. begin >= end
-/// means no window (query projects entirely off the target).
-struct Window {
-  std::size_t begin = 0;
-  std::size_t end = 0;
-};
-
-Window project_window(std::size_t m, const seq::PackedSeq& target,
-                      std::size_t q_off, std::size_t t_off,
-                      std::size_t window_pad) {
+SeedWindow project_seed_window(std::size_t query_len,
+                               const seq::PackedSeq& target, std::size_t q_off,
+                               std::size_t t_off,
+                               std::size_t window_pad) noexcept {
   // diag0 = target position where query base 0 lands (may be negative when
   // the query hangs off the target's start).
   const std::ptrdiff_t diag0 = static_cast<std::ptrdiff_t>(t_off) -
                                static_cast<std::ptrdiff_t>(q_off);
   const auto pad = static_cast<std::ptrdiff_t>(window_pad);
-  Window w;
+  SeedWindow w;
   w.begin = static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, diag0 - pad));
   w.end = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
-      diag0 + static_cast<std::ptrdiff_t>(m) + pad, 0,
+      diag0 + static_cast<std::ptrdiff_t>(query_len) + pad, 0,
       static_cast<std::ptrdiff_t>(target.size())));
   return w;
 }
-
-}  // namespace
 
 Extension extend_seed(std::span<const std::uint8_t> query,
                       const seq::PackedSeq& target, std::size_t q_off,
@@ -42,7 +31,8 @@ Extension extend_seed(std::span<const std::uint8_t> query,
   const std::size_t m = query.size();
   if (m == 0 || target.empty() || k <= 0) return ext;
 
-  const Window w = project_window(m, target, q_off, t_off, cfg.window_pad);
+  const SeedWindow w =
+      project_seed_window(m, target, q_off, t_off, cfg.window_pad);
   ext.window_begin = w.begin;
   ext.window_end = w.end;
   if (w.begin >= w.end) return ext;
@@ -102,14 +92,21 @@ Extension extend_seed(std::span<const std::uint8_t> query,
 std::vector<Extension> extend_candidates(std::span<const std::uint8_t> query,
                                          std::span<const SeedCandidate> cands,
                                          int k, const ExtensionConfig& cfg,
-                                         int screen_min_score) {
+                                         int screen_min_score,
+                                         LaneStats* lane_stats) {
   std::vector<Extension> out(cands.size());
   if (cands.empty()) return out;
 
   if (cfg.kernel != SwKernel::kBatch) {
+    // kStriped screens with a query-only profile: build it once here instead
+    // of once per candidate inside extend_seed.
+    std::optional<StripedSmithWaterman> profile;
+    if (cfg.kernel == SwKernel::kStriped && !query.empty())
+      profile.emplace(query, cfg.scoring);
     for (std::size_t c = 0; c < cands.size(); ++c)
       out[c] = extend_seed(query, *cands[c].target, cands[c].q_off,
-                           cands[c].t_off, k, cfg, screen_min_score);
+                           cands[c].t_off, k, cfg, screen_min_score,
+                           profile ? &*profile : nullptr);
     return out;
   }
 
@@ -125,9 +122,8 @@ std::vector<Extension> extend_candidates(std::span<const std::uint8_t> query,
   for (std::size_t c = 0; c < cands.size(); ++c) {
     const seq::PackedSeq& target = *cands[c].target;
     if (m == 0 || target.empty() || k <= 0) continue;
-    const Window w =
-        project_window(m, target, cands[c].q_off, cands[c].t_off,
-                       cfg.window_pad);
+    const SeedWindow w = project_seed_window(m, target, cands[c].q_off,
+                                             cands[c].t_off, cfg.window_pad);
     out[c].window_begin = w.begin;
     out[c].window_end = w.end;
     if (w.begin >= w.end) continue;
@@ -136,6 +132,7 @@ std::vector<Extension> extend_candidates(std::span<const std::uint8_t> query,
   }
 
   const std::vector<StripedResult> screened = scorer.flush();
+  if (lane_stats) *lane_stats += scorer.lane_stats();
   for (std::size_t c = 0; c < cands.size(); ++c) {
     if (slot[c] == kNone) continue;
     const StripedResult& sr = screened[slot[c]];

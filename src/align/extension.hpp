@@ -58,6 +58,24 @@ struct Extension {
   std::size_t window_end = 0;
 };
 
+/// Target window implied by a seed: the query's projected span on the seed
+/// diagonal, padded by window_pad and clipped to the target. begin >= end
+/// means no window (query projects entirely off the target).
+struct SeedWindow {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Compute the seed's target window — the same projection extend_seed /
+/// extend_candidates perform internally, exposed so deferred-extension
+/// callers (core::AlignSession's pooled path) can mirror window extents and
+/// sw_cells accounting without scoring yet.
+[[nodiscard]] SeedWindow project_seed_window(std::size_t query_len,
+                                             const seq::PackedSeq& target,
+                                             std::size_t q_off,
+                                             std::size_t t_off,
+                                             std::size_t window_pad) noexcept;
+
 /// Stable lowercase kernel tag for reports and metric labels.
 [[nodiscard]] constexpr const char* kernel_name(SwKernel k) noexcept {
   switch (k) {
@@ -95,12 +113,16 @@ struct SeedCandidate {
 
 /// Batch form of extend_seed: extend one query against many candidates at
 /// once, screening every window in a single inter-candidate SIMD sweep
-/// (SwKernel::kBatch; other kernels fall back to per-candidate extend_seed).
-/// Results are positionally parallel to `candidates` and bit-identical to
-/// calling extend_seed on each candidate with the same config.
+/// (SwKernel::kBatch; kStriped builds the query's striped profile once and
+/// screens per candidate with it; the exact kernels fall back to
+/// per-candidate extend_seed). Results are positionally parallel to
+/// `candidates` and bit-identical to calling extend_seed on each candidate
+/// with the same config. When `lane_stats` is non-null the kBatch sweep's
+/// lane occupancy is accumulated into it (other kernels record nothing).
 [[nodiscard]] std::vector<Extension> extend_candidates(
     std::span<const std::uint8_t> query,
     std::span<const SeedCandidate> candidates, int k,
-    const ExtensionConfig& cfg = {}, int screen_min_score = 0);
+    const ExtensionConfig& cfg = {}, int screen_min_score = 0,
+    LaneStats* lane_stats = nullptr);
 
 }  // namespace mera::align

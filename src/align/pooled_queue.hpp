@@ -1,0 +1,114 @@
+// Cross-read candidate pooling for the inter-candidate batch SW engine.
+//
+// BatchSwScorer fills lanes with whatever one flush holds — and the per-read
+// extension path flushes per read per strand, so a read with 3 candidates
+// wastes 61 of 64 AVX-512 lanes. This queue decouples flush granularity from
+// read boundaries: candidates from MANY reads accumulate in buckets keyed by
+// query-length class (bounding the row-padding a mixed group pays), and a
+// bucket flushes through its multi-query BatchSwScorer only once it can fill
+// the resolved tier's 8-bit lane width. mmseqs2's prescreen keeps its SIMD
+// matcher saturated the same way.
+//
+// Scoring is deferred, so callers attach an opaque provenance tag to every
+// candidate and receive (tag, StripedResult) callbacks as flushes happen —
+// in bucket-insertion order within a flush, but in no particular order
+// ACROSS buckets. Emission ordering is the caller's job (AlignSession keeps
+// a slot/cursor structure that replays results in exact per-read order; see
+// align_session.cpp). drain() force-flushes every bucket — call it at batch
+// end, after which every enqueued tag has been called back exactly once.
+//
+// Results are bit-identical to scoring each pair alone on any tier (the
+// BatchSwScorer contract); pooling changes WHEN a candidate is scored, never
+// WHAT its score is.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "align/batch_sw.hpp"
+#include "align/scoring.hpp"
+
+namespace mera::align {
+
+struct PooledQueueConfig {
+  Scoring scoring{};
+  SwIsa isa = SwIsa::kAuto;
+  /// Candidates a bucket accumulates before it flushes through the SIMD
+  /// scorer. 0 = auto: the resolved tier's 8-bit lane width (so every
+  /// non-drain flush can fill a full lane group); 16 on the scalar tier.
+  std::size_t flush_lanes = 0;
+  /// Queries whose lengths fall in the same class of this width share a
+  /// bucket (class id = qlen / width). Wider classes pool more aggressively
+  /// but pay more row padding per sweep; 32 keeps worst-case padding under
+  /// one cache line of rows. Minimum 1 (every distinct length is its own
+  /// bucket).
+  std::size_t length_class_width = 32;
+};
+
+/// Batch-scoped deferred-extension queue: enqueue candidate windows from any
+/// number of reads, get scores back by tag once a length-class bucket fills
+/// a SIMD lane group (or at drain()).
+class PooledExtensionQueue {
+ public:
+  using ScoreFn = std::function<void(std::uint64_t tag, const StripedResult&)>;
+
+  PooledExtensionQueue(const PooledQueueConfig& cfg, ScoreFn on_score);
+
+  /// Register a query (codes copied; duplicates share one id and one lazily
+  /// built striped profile inside the bucket scorer). Ids are process-local
+  /// to this queue and stable for its lifetime.
+  std::size_t add_query(std::span<const std::uint8_t> query_codes);
+
+  /// Enqueue one candidate window against query `qid`. May trigger a bucket
+  /// flush (and therefore on_score callbacks) before returning.
+  void enqueue(std::size_t qid, std::span<const std::uint8_t> window_codes,
+               std::uint64_t tag);
+
+  /// Force-flush every bucket (ascending length-class order). After drain()
+  /// every enqueued tag has been scored exactly once.
+  void drain();
+
+  /// Candidates enqueued but not yet scored.
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+  /// Codes of a registered query (valid for the queue's lifetime).
+  [[nodiscard]] std::span<const std::uint8_t> query_codes(
+      std::size_t qid) const;
+  /// Concrete dispatch tier every bucket scorer uses (never kAuto).
+  [[nodiscard]] SwIsa isa() const noexcept { return isa_; }
+  /// Resolved per-bucket flush threshold (auto turns into a lane width).
+  [[nodiscard]] std::size_t flush_lanes() const noexcept {
+    return flush_lanes_;
+  }
+  /// Lane occupancy summed over every bucket's scorer.
+  [[nodiscard]] LaneStats lane_stats() const;
+
+ private:
+  struct Bucket {
+    BatchSwScorer scorer;
+    std::vector<std::uint64_t> tags;  // parallel to the scorer's pending set
+    Bucket(const Scoring& sc, SwIsa isa) : scorer(sc, isa) {}
+  };
+  struct QueryRef {
+    std::size_t cls;    // length-class id = qlen / length_class_width
+    std::size_t local;  // query id inside that bucket's scorer
+  };
+
+  Bucket& bucket_for(std::size_t cls);
+  void flush_bucket(Bucket& b);
+
+  PooledQueueConfig cfg_;
+  SwIsa isa_;
+  std::size_t flush_lanes_;
+  ScoreFn on_score_;
+  // std::map: drain() walks buckets in ascending class order, keeping the
+  // cross-bucket callback order deterministic for a given enqueue sequence.
+  std::map<std::size_t, std::unique_ptr<Bucket>> buckets_;
+  std::vector<QueryRef> queries_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace mera::align

@@ -63,6 +63,9 @@ struct BaselineResult {
   /// Bytes one replica of the index occupies (the per-instance memory cost
   /// that forces pMap to run fewer instances per node).
   std::size_t index_replica_bytes = 0;
+  /// SIMD lane occupancy of the mapping phase's SwKernel::kBatch sweeps,
+  /// summed over ranks (all-zero for other kernels).
+  align::LaneStats lane_stats;
 
   [[nodiscard]] double total_time_s() const { return report.total_time_s(); }
   [[nodiscard]] double serial_index_time_s() const {

@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "align/pooled_queue.hpp"
 #include "cache/cache_snapshot.hpp"
 #include "core/exact_match.hpp"
 #include "core/file_stream.hpp"
@@ -29,6 +30,7 @@ struct BatchShared {
   cache::TargetCache* tcache;
   AlignmentSink& sink;
   std::vector<PipelineStats> stats;
+  std::vector<align::LaneStats> lane_stats;  ///< per rank, kBatch only
 
   // Input plumbing: exactly one of the two is used.
   std::span<const seq::SeqRecord> mem_reads;
@@ -36,6 +38,29 @@ struct BatchShared {
   /// Permuted record-index assignment for the file path (Section IV-B),
   /// computed once on the driving thread; empty = natural order.
   std::span<const std::uint64_t> file_perm;
+};
+
+/// One deferred-emission event of the cross-read pooled path, in the exact
+/// order the per-read path would have produced it. kPending slots hold a
+/// candidate's provenance until its PooledExtensionQueue callback resolves
+/// them; kRecord slots (exact matches and anything else emitted inline) are
+/// born resolved; kReadEnd marks a read boundary so reads_aligned can be
+/// counted at replay time. A cursor emits the resolved prefix, which keeps
+/// sink order — and therefore SAM bytes — bit-identical to per-read
+/// flushing even though scoring happens out of order across reads.
+struct PooledSlot {
+  enum class Kind : std::uint8_t { kPending, kRecord, kReadEnd };
+  Kind kind = Kind::kPending;
+  bool resolved = false;
+  bool has_record = false;
+  const seq::SeqRecord* read = nullptr;
+  AlignmentRecord rec;  ///< valid when has_record
+  // Candidate provenance (kPending only, meaningful until resolved).
+  const seq::PackedSeq* target = nullptr;
+  std::uint32_t target_id = 0;
+  bool reverse = false;
+  std::size_t qid = 0;  ///< query id inside the rank's pooled queue
+  std::size_t window_begin = 0, window_end = 0;
 };
 
 /// Per-rank aligning-phase worker (seed-and-extend with caches, the Lemma-1
@@ -47,6 +72,17 @@ class RankAligner {
     min_score_ = sh.cfg.min_report_score >= 0
                      ? sh.cfg.min_report_score
                      : sh.cfg.extension.scoring.match * sh.k;
+    if (sh.cfg.extension.kernel == align::SwKernel::kBatch &&
+        sh.cfg.sw_pooling > 0) {
+      align::PooledQueueConfig qcfg;
+      qcfg.scoring = sh.cfg.extension.scoring;
+      qcfg.isa = sh.cfg.extension.isa;
+      qcfg.flush_lanes = sh.cfg.sw_pooling == 1 ? 0 : sh.cfg.sw_pooling;
+      pool_.emplace(qcfg,
+                    [this](std::uint64_t tag, const align::StripedResult& sr) {
+                      resolve_slot(static_cast<std::size_t>(tag), sr);
+                    });
+    }
   }
 
   void align_read(const seq::SeqRecord& read) {
@@ -59,7 +95,25 @@ class RankAligner {
       const std::string rc = seq::reverse_complement(read.seq);
       align_strand(read.name, rc, /*reverse=*/true);
     }
-    if (records_this_read_ > 0) ++st_.reads_aligned;
+    if (pool_) {
+      PooledSlot marker;
+      marker.kind = PooledSlot::Kind::kReadEnd;
+      slots_.push_back(std::move(marker));
+      advance_cursor();
+    } else if (records_this_read_ > 0) {
+      ++st_.reads_aligned;
+    }
+  }
+
+  /// Batch end: force-score everything still pending, replay the tail of the
+  /// emission log, and hand the rank's lane occupancy to the batch result.
+  void finish() {
+    if (pool_) {
+      pool_->drain();
+      advance_cursor();
+      lane_stats_ += pool_->lane_stats();
+    }
+    sh_.lane_stats[static_cast<std::size_t>(rank_.id())] += lane_stats_;
   }
 
  private:
@@ -84,6 +138,10 @@ class RankAligner {
         sh_.cfg.extension.kernel == align::SwKernel::kBatch;
     std::vector<align::SeedCandidate> pending;
     std::vector<std::uint32_t> pending_target_ids;
+    // Pooled mode: this strand's query id in the rank queue, registered
+    // lazily on the first candidate (duplicate query bytes dedup inside the
+    // queue and share one striped profile).
+    std::optional<std::size_t> pooled_qid;
 
     bool exact_done = false;
     bool exact_tried = false;
@@ -140,6 +198,41 @@ class RankAligner {
             (static_cast<std::uint64_t>(diag + (1ll << 28)) >> 3);
         if (!seen_.insert(key).second) continue;
         const Target& t = fetch_target_cached(h.target_id);
+        if (batch_mode && pool_) {
+          // Cross-read pooling: account the candidate now (sw_calls at
+          // buffer time and sw_cells over the projected window, exactly as
+          // the per-read flush below does), then defer scoring into the
+          // rank's length-class-bucketed queue. Window codes are extracted
+          // here; the traceback re-reads the target at resolve time, and
+          // only for screen survivors.
+          ++st_.sw_calls;
+          if (!t.seq.empty()) {
+            const align::SeedWindow w = align::project_seed_window(
+                qcodes.size(), t.seq, q_off, h.t_pos,
+                sh_.cfg.extension.window_pad);
+            st_.sw_cells +=
+                static_cast<std::uint64_t>(w.end - w.begin) * qcodes.size();
+            if (w.begin < w.end) {
+              if (!pooled_qid)
+                pooled_qid = pool_->add_query(
+                    std::span<const std::uint8_t>(qcodes));
+              PooledSlot s;
+              s.read = read_;
+              s.target = &t.seq;
+              s.target_id = h.target_id;
+              s.reverse = reverse;
+              s.qid = *pooled_qid;
+              s.window_begin = w.begin;
+              s.window_end = w.end;
+              const auto tag = static_cast<std::uint64_t>(slots_.size());
+              slots_.push_back(std::move(s));
+              const auto window =
+                  align::dna_codes(t.seq, w.begin, w.end - w.begin);
+              pool_->enqueue(*pooled_qid, window, tag);
+            }
+          }
+          continue;
+        }
         if (batch_mode) {
           // Target sequences live in the session-lifetime TargetStore, so
           // holding pointers across the seed loop is safe.
@@ -180,7 +273,7 @@ class RankAligner {
       // buffered, so a non-empty queue implies the fast path didn't fire.)
       const auto exts = align::extend_candidates(
           std::span<const std::uint8_t>(qcodes), pending, k,
-          sh_.cfg.extension, min_score_);
+          sh_.cfg.extension, min_score_, &lane_stats_);
       for (std::size_t c = 0; c < exts.size(); ++c) {
         const align::Extension& ext = exts[c];
         st_.sw_cells += static_cast<std::uint64_t>(
@@ -247,9 +340,74 @@ class RankAligner {
   }
 
   void emit(AlignmentRecord rec) {
+    if (pool_) {
+      // Pooled mode: inline emissions (exact matches) join the slot log so
+      // they interleave with deferred candidates in the original order.
+      PooledSlot s;
+      s.kind = PooledSlot::Kind::kRecord;
+      s.resolved = true;
+      s.has_record = true;
+      s.read = read_;
+      s.rec = std::move(rec);
+      slots_.push_back(std::move(s));
+      return;
+    }
     ++records_this_read_;
     ++st_.alignments_reported;
     sh_.sink.emit(rank_.id(), *read_, std::move(rec));
+  }
+
+  /// PooledExtensionQueue callback: a deferred candidate got its screening
+  /// score. Survivors pay the full-DP traceback now (same kernel, window and
+  /// thresholds as the per-read flush, so the record bytes are identical).
+  void resolve_slot(std::size_t idx, const align::StripedResult& sr) {
+    PooledSlot& s = slots_[idx];
+    s.resolved = true;
+    if (sr.score < min_score_) return;  // screened out, no traceback
+    const auto window =
+        align::dna_codes(*s.target, s.window_begin,
+                         s.window_end - s.window_begin);
+    auto aln = align::smith_waterman(pool_->query_codes(s.qid), window,
+                                     sh_.cfg.extension.scoring);
+    aln.t_begin += s.window_begin;
+    aln.t_end += s.window_begin;
+    if (aln.score < min_score_ || aln.empty()) return;
+    s.has_record = true;
+    s.rec.query_name = s.read->name;
+    s.rec.target_id = s.target_id;
+    s.rec.reverse = s.reverse;
+    s.rec.score = aln.score;
+    s.rec.q_begin = aln.q_begin;
+    s.rec.q_end = aln.q_end;
+    s.rec.t_begin = aln.t_begin;
+    s.rec.t_end = aln.t_end;
+    s.rec.cigar = aln.cigar.to_string();
+    s.rec.mismatches = aln.mismatches;
+  }
+
+  /// Emit the resolved prefix of the slot log, counting reads_aligned and
+  /// alignments_reported exactly where the per-read path would have.
+  void advance_cursor() {
+    while (cursor_ < slots_.size()) {
+      PooledSlot& s = slots_[cursor_];
+      if (s.kind == PooledSlot::Kind::kReadEnd) {
+        if (cursor_records_ > 0) ++st_.reads_aligned;
+        cursor_records_ = 0;
+      } else {
+        if (!s.resolved) break;
+        if (s.has_record) {
+          ++cursor_records_;
+          ++st_.alignments_reported;
+          sh_.sink.emit(rank_.id(), *s.read, std::move(s.rec));
+        }
+      }
+      ++cursor_;
+    }
+    // Fully replayed: drop the log (pointers into reads/targets with it).
+    if (cursor_ == slots_.size() && !slots_.empty()) {
+      slots_.clear();
+      cursor_ = 0;
+    }
   }
 
   pgas::Rank& rank_;
@@ -259,6 +417,12 @@ class RankAligner {
   std::unordered_set<std::uint64_t> seen_;
   std::size_t records_this_read_ = 0;
   int min_score_ = 0;
+  // Cross-read pooling state (SwKernel::kBatch with cfg.sw_pooling > 0).
+  std::optional<align::PooledExtensionQueue> pool_;
+  std::vector<PooledSlot> slots_;   ///< deferred emission log
+  std::size_t cursor_ = 0;          ///< first unreplayed slot
+  std::size_t cursor_records_ = 0;  ///< replayed records since last kReadEnd
+  align::LaneStats lane_stats_;     ///< this rank's kBatch lane occupancy
 };
 
 /// The per-batch SPMD body: io.reads + align against the prebuilt index.
@@ -294,6 +458,9 @@ void batch_rank_body(pgas::Rank& rank, BatchShared& sh) {
   rank.phase("align");
   RankAligner aligner(rank, sh);
   for (const seq::SeqRecord& r : myreads) aligner.align_read(r);
+  // Forced drain: score and replay every candidate the pooled queue still
+  // holds, before the barrier (file_reads must outlive every slot).
+  aligner.finish();
   rank.barrier();
 }
 
@@ -342,6 +509,33 @@ void add_batch_metrics(const BatchResult& res, const SessionConfig& cfg) {
     reg.gauge("mera_sw_gcups", sw_labels,
               "Giga DP cells per second in the last batch's align phase")
         .set(static_cast<double>(res.stats.sw_cells) / 1e9 / align_s);
+
+  // Lane occupancy of the inter-candidate engine: how full its SIMD sweeps
+  // ran. The mode label separates cross-read pooled flushing from the
+  // per-read baseline so the pooling win is a one-query PromQL ratio.
+  if (cfg.extension.kernel == align::SwKernel::kBatch) {
+    const align::LaneStats& ls = res.lane_stats;
+    const obs::Labels lane_labels{
+        {"isa", align::isa_name(align::resolve_isa(cfg.extension.isa))},
+        {"mode", cfg.sw_pooling > 0 ? "pooled" : "per_read"}};
+    reg.counter("mera_sw_lanes_filled_total", lane_labels,
+                "SIMD lanes carrying a live candidate in batch SW sweeps")
+        .add(static_cast<double>(ls.lanes_filled));
+    reg.counter("mera_sw_lanes_wasted_total", lane_labels,
+                "Idle SIMD lanes in batch SW sweeps")
+        .add(static_cast<double>(ls.lanes_wasted));
+    reg.counter("mera_sw_flushes_total", lane_labels,
+                "Batch SW flushes that scored at least one candidate")
+        .add(static_cast<double>(ls.flushes));
+    auto& occ = reg.histogram(
+        "mera_sw_lane_occupancy",
+        {0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0},
+        lane_labels, "Per-sweep SIMD lane occupancy (filled / width)");
+    for (std::size_t i = 0; i < align::LaneStats::kOccBuckets; ++i)
+      occ.observe_n((static_cast<double>(i) + 1.0) /
+                        static_cast<double>(align::LaneStats::kOccBuckets),
+                    res.lane_stats.occupancy[i]);
+  }
 }
 
 }  // namespace
@@ -430,6 +624,7 @@ BatchResult AlignSession::run_batch(pgas::Runtime& rt,
       tcache_ ? &*tcache_ : nullptr,
       sink,
       std::vector<PipelineStats>(static_cast<std::size_t>(rt.nranks())),
+      std::vector<align::LaneStats>(static_cast<std::size_t>(rt.nranks())),
       mem_reads,
       seqdb_path,
       file_perm,
@@ -441,6 +636,7 @@ BatchResult AlignSession::run_batch(pgas::Runtime& rt,
   res.report = rt.report();
   res.per_rank = std::move(sh.stats);
   for (const auto& s : res.per_rank) res.stats += s;
+  for (const auto& ls : sh.lane_stats) res.lane_stats += ls;
   if (scache_) {
     const auto now = scache_->counters();
     res.seed_cache = now - seed_base_;

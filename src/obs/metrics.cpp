@@ -79,11 +79,14 @@ Histogram::Histogram(std::vector<double> bounds)
           "Histogram: bucket bounds must be strictly ascending");
 }
 
-void Histogram::observe(double v) noexcept {
+void Histogram::observe(double v) noexcept { observe_n(v, 1); }
+
+void Histogram::observe_n(double v, std::uint64_t n) noexcept {
+  if (n == 0) return;
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const auto idx = static_cast<std::size_t>(it - bounds_.begin());
-  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(v, std::memory_order_relaxed);
+  buckets_[idx].fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(v * static_cast<double>(n), std::memory_order_relaxed);
 }
 
 std::vector<std::uint64_t> Histogram::bucket_counts() const {

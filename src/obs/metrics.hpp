@@ -94,6 +94,10 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
 
   void observe(double v) noexcept;
+  /// Record `n` observations of value `v` in one shot — for bridging
+  /// pre-aggregated histograms (e.g. the SW engine's per-batch lane
+  /// occupancy octiles) without n round trips.
+  void observe_n(double v, std::uint64_t n) noexcept;
 
   [[nodiscard]] const std::vector<double>& bounds() const noexcept {
     return bounds_;

@@ -255,6 +255,7 @@ ShardedBatchResult ShardedAlignSession::run_batch(
   for (const core::BatchResult& b : res.per_shard) {
     res.report.append(b.report);
     res.stats += b.stats;
+    res.lane_stats += b.lane_stats;
   }
   // Read-scoped counters must count each read once, not once per shard.
   res.stats.reads_processed =

@@ -105,6 +105,70 @@ if(NOT rc EQUAL 0)
 endif()
 check_sam(${WORKDIR}/out_batch_scalar.sam "single-batch --sw batch --sw-isa scalar")
 
+# Cross-read pooling is on by default for --sw batch; disabling it and
+# forcing an odd explicit flush threshold must both still hit the golden
+# bytes — pooling changes flush timing, never output.
+foreach(pool off 5)
+  execute_process(
+    COMMAND ${CLI}
+      --targets ${WORKDIR}/contigs.fa
+      --reads ${WORKDIR}/reads.fastq
+      --out ${WORKDIR}/out_batch_pool_${pool}.sam
+      --k 31 --ranks 4 --ppn 2 --no-permute --sw batch --sw-pool ${pool}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "--sw batch --sw-pool ${pool} exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  check_sam(${WORKDIR}/out_batch_pool_${pool}.sam
+            "single-batch --sw batch --sw-pool ${pool}")
+endforeach()
+
+# --sw-pool validation: malformed thresholds are usage errors (exit 2 +
+# usage), and the flag is rejected outside --sw batch runs.
+foreach(bad 0 -4 lots)
+  execute_process(
+    COMMAND ${CLI}
+      --targets ${WORKDIR}/contigs.fa
+      --reads ${WORKDIR}/reads.fastq
+      --k 31 --ranks 4 --ppn 2 --sw batch --sw-pool ${bad}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "--sw-pool ${bad} exited ${rc}, expected usage error 2")
+  endif()
+  if(NOT err MATCHES "sw-pool" OR NOT err MATCHES "meraligner --targets")
+    message(FATAL_ERROR "--sw-pool ${bad} did not print the usage message:\n${err}")
+  endif()
+endforeach()
+execute_process(
+  COMMAND ${CLI}
+    --targets ${WORKDIR}/contigs.fa
+    --reads ${WORKDIR}/reads.fastq
+    --k 31 --ranks 4 --ppn 2 --sw striped --sw-pool on
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2 OR NOT err MATCHES "requires --sw batch")
+  message(FATAL_ERROR "--sw-pool outside --sw batch was not rejected (rc=${rc}):\n${err}")
+endif()
+
+# --sw-isa help is a first-class query: print the tier table and exit 0,
+# before any input validation.
+execute_process(
+  COMMAND ${CLI} --sw-isa help
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--sw-isa help exited ${rc}, expected 0:\n${err}")
+endif()
+if(NOT out MATCHES "scalar" OR NOT out MATCHES "sse2")
+  message(FATAL_ERROR "--sw-isa help did not print the tier table:\n${out}")
+endif()
+
 # --sw-isa validation: unknown tier names are usage errors (exit 2 + usage),
 # and the flag is rejected outside --sw batch runs.
 execute_process(

@@ -1,0 +1,404 @@
+// Cross-read candidate pooling: the multi-query batch scorer, the
+// PooledExtensionQueue, and the session-level pooled extension path.
+//
+// The central contract: pooling changes WHEN a candidate is scored — never
+// WHAT its score is, and never the order results are emitted in. So
+//   1. the multi-query BatchSwScorer is bit-identical to the scalar striped
+//      reference for every (query, target) pair, on every dispatch tier and
+//      under every scoring scheme (including pad-unsafe ones that force the
+//      per-pair fallback);
+//   2. the queue calls every tag back exactly once with the reference score,
+//      whatever the length-class bucketing and flush thresholds do; and
+//   3. a pooled session (sw_pooling on) emits byte-identical records, SAM
+//      and stats to a per-read session (sw_pooling off), for K in {1,2,4}
+//      shards, on every ISA tier, on mixed-length query sets — compared in
+//      EMISSION ORDER, so any reordering by the deferred-replay machinery
+//      would fail the test.
+#include "align/pooled_queue.hpp"
+
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "align/batch_sw.hpp"
+#include "align/striped_sw.hpp"
+#include "core/align_session.hpp"
+#include "core/alignment_sink.hpp"
+#include "core/indexed_reference.hpp"
+#include "seq/genome_sim.hpp"
+#include "seq/read_sim.hpp"
+#include "shard/shard_planner.hpp"
+#include "shard/sharded_reference.hpp"
+#include "shard/sharded_session.hpp"
+
+namespace {
+
+using mera::testutil::random_dna;
+
+using namespace mera::align;
+using mera::core::AlignmentRecord;
+using mera::pgas::Runtime;
+using mera::pgas::Topology;
+using mera::seq::SeqRecord;
+
+std::vector<SwIsa> supported_tiers() {
+  std::vector<SwIsa> tiers{SwIsa::kScalar};
+  for (SwIsa isa : {SwIsa::kSse2, SwIsa::kAvx2, SwIsa::kAvx512})
+    if (isa_supported(isa)) tiers.push_back(isa);
+  return tiers;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-query BatchSwScorer
+// ---------------------------------------------------------------------------
+
+class PooledSwTiers : public ::testing::TestWithParam<SwIsa> {};
+
+TEST_P(PooledSwTiers, MultiQueryMatchesScalarReference) {
+  const SwIsa isa = GetParam();
+  if (!isa_supported(isa)) GTEST_SKIP() << "tier not supported on this host";
+  // Pad-safe (default), zero-mismatch, and pad-UNSAFE (mismatch > 0, which
+  // routes mixed-length lane groups through the per-pair fallback) schemes.
+  Scoring unsafe;
+  unsafe.mismatch = 1;
+  Scoring zero;
+  zero.mismatch = 0;
+  for (const Scoring& sc : {Scoring{}, zero, unsafe}) {
+    std::mt19937_64 rng(1031);
+    for (int round = 0; round < 4; ++round) {
+      BatchSwScorer scorer(sc, isa);
+      // Mixed-length queries — different length classes share one scorer
+      // here, so heterogeneous lane groups are the norm, not the exception.
+      std::vector<std::vector<std::uint8_t>> queries;
+      std::vector<std::size_t> qids;
+      for (int q = 0; q < 6; ++q) {
+        queries.push_back(dna_codes(random_dna(rng, 20 + rng() % 130)));
+        qids.push_back(scorer.add_query(
+            std::span<const std::uint8_t>(queries.back())));
+      }
+      std::vector<std::size_t> cand_query;
+      std::vector<std::vector<std::uint8_t>> cand_target;
+      for (int c = 0; c < 70; ++c) {
+        cand_query.push_back(rng() % queries.size());
+        cand_target.push_back(dna_codes(random_dna(rng, rng() % 260)));
+        scorer.add(qids[cand_query.back()],
+                   std::span<const std::uint8_t>(cand_target.back()));
+      }
+      const auto got = scorer.flush();
+      ASSERT_EQ(got.size(), cand_target.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        const auto ref = striped_scalar_score(queries[cand_query[i]],
+                                              cand_target[i], sc);
+        ASSERT_EQ(got[i].score, ref.score)
+            << isa_name(isa) << " round=" << round << " i=" << i
+            << " mismatch=" << sc.mismatch;
+        ASSERT_EQ(got[i].t_end, ref.t_end)
+            << isa_name(isa) << " round=" << round << " i=" << i
+            << " mismatch=" << sc.mismatch;
+      }
+    }
+  }
+}
+
+TEST_P(PooledSwTiers, RepeatedFlushesReuseRegisteredQueries) {
+  const SwIsa isa = GetParam();
+  if (!isa_supported(isa)) GTEST_SKIP() << "tier not supported on this host";
+  std::mt19937_64 rng(77);
+  const Scoring sc;
+  BatchSwScorer scorer(sc, isa);
+  const auto q = dna_codes(random_dna(rng, 90));
+  const auto qid = scorer.add_query(std::span<const std::uint8_t>(q));
+  for (int flush = 0; flush < 3; ++flush) {
+    std::vector<std::vector<std::uint8_t>> targets;
+    for (int c = 0; c < 9; ++c) {
+      targets.push_back(dna_codes(random_dna(rng, 60 + rng() % 120)));
+      scorer.add(qid, std::span<const std::uint8_t>(targets.back()));
+    }
+    const auto got = scorer.flush();
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      const auto ref = striped_scalar_score(q, targets[i], sc);
+      ASSERT_EQ(got[i].score, ref.score) << "flush=" << flush << " i=" << i;
+      ASSERT_EQ(got[i].t_end, ref.t_end) << "flush=" << flush << " i=" << i;
+    }
+    EXPECT_EQ(scorer.pending(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTiers, PooledSwTiers,
+                         ::testing::ValuesIn(supported_tiers()),
+                         [](const auto& info) {
+                           return std::string(isa_name(info.param));
+                         });
+
+TEST(PooledSw, AddQueryDedupsIdenticalBytes) {
+  BatchSwScorer scorer;
+  const auto a = dna_codes("ACGTACGTACGT");
+  const auto b = dna_codes("ACGTACGTACGT");
+  const auto c = dna_codes("TTTTACGTACGT");
+  const auto ida = scorer.add_query(std::span<const std::uint8_t>(a));
+  const auto idb = scorer.add_query(std::span<const std::uint8_t>(b));
+  const auto idc = scorer.add_query(std::span<const std::uint8_t>(c));
+  EXPECT_EQ(ida, idb);
+  EXPECT_NE(ida, idc);
+  EXPECT_EQ(scorer.num_queries(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// PooledExtensionQueue
+// ---------------------------------------------------------------------------
+
+// Property: whatever the length-class width and flush threshold do to
+// bucketing and flush timing, every enqueued tag is called back EXACTLY once
+// and its score is the scalar reference score. Randomized over class widths
+// that put everything in one bucket (1000), one bucket per length (1), and
+// odd in-between splits.
+TEST(PooledQueue, EveryTagScoredExactlyOnceAtAnyBucketing) {
+  std::mt19937_64 rng(4099);
+  for (const std::size_t width : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{32}, std::size_t{1000}}) {
+    for (const std::size_t flush : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{3}, std::size_t{64}}) {
+      PooledQueueConfig cfg;
+      cfg.length_class_width = width;
+      cfg.flush_lanes = flush;
+      std::map<std::uint64_t, StripedResult> got;
+      PooledExtensionQueue queue(
+          cfg, [&](std::uint64_t tag, const StripedResult& r) {
+            ASSERT_TRUE(got.emplace(tag, r).second)
+                << "tag " << tag << " scored twice (width=" << width
+                << " flush=" << flush << ")";
+          });
+      std::vector<std::vector<std::uint8_t>> queries;
+      std::vector<std::size_t> qids;
+      for (int q = 0; q < 8; ++q) {
+        queries.push_back(dna_codes(random_dna(rng, 15 + rng() % 140)));
+        qids.push_back(queue.add_query(
+            std::span<const std::uint8_t>(queries.back())));
+      }
+      std::vector<std::size_t> cand_query;
+      std::vector<std::vector<std::uint8_t>> cand_target;
+      for (std::uint64_t tag = 0; tag < 100; ++tag) {
+        cand_query.push_back(rng() % queries.size());
+        cand_target.push_back(dna_codes(random_dna(rng, 1 + rng() % 220)));
+        queue.enqueue(cand_query.back(),
+                      std::span<const std::uint8_t>(cand_target.back()), tag);
+      }
+      queue.drain();
+      EXPECT_EQ(queue.pending(), 0u);
+      ASSERT_EQ(got.size(), cand_target.size())
+          << "width=" << width << " flush=" << flush;
+      for (std::uint64_t tag = 0; tag < cand_target.size(); ++tag) {
+        const auto ref = striped_scalar_score(queries[cand_query[tag]],
+                                              cand_target[tag], Scoring{});
+        ASSERT_EQ(got[tag].score, ref.score)
+            << "tag=" << tag << " width=" << width << " flush=" << flush;
+        ASSERT_EQ(got[tag].t_end, ref.t_end)
+            << "tag=" << tag << " width=" << width << " flush=" << flush;
+      }
+    }
+  }
+}
+
+TEST(PooledQueue, AutoFlushThresholdIsTheTiersLaneWidth) {
+  PooledQueueConfig cfg;  // flush_lanes = 0 = auto
+  PooledExtensionQueue queue(cfg, [](std::uint64_t, const StripedResult&) {});
+  const std::size_t lanes = isa_lanes8(SwIsa::kAuto);
+  EXPECT_EQ(queue.flush_lanes(), lanes > 1 ? lanes : 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Session-level pooled vs per-read bit-identity
+// ---------------------------------------------------------------------------
+
+struct Workload {
+  std::vector<SeqRecord> contigs;
+  std::vector<SeqRecord> reads;
+};
+
+/// Mixed-length query set: reads are trimmed to 5 different lengths so the
+/// pooled path spreads them over several length-class buckets.
+Workload make_mixed_workload(std::size_t genome_len, double depth,
+                             std::uint64_t seed = 7) {
+  Workload w;
+  mera::seq::GenomeParams gp;
+  gp.length = genome_len;
+  gp.repeat_fraction = 0.02;
+  gp.rng_seed = seed;
+  const std::string genome = simulate_genome(gp);
+  mera::seq::ContigParams cp;
+  cp.rng_seed = seed + 1;
+  w.contigs = chop_into_contigs(genome, cp);
+  mera::seq::ReadSimParams rp;
+  rp.read_len = 120;
+  rp.depth = depth;
+  rp.error_rate = 0.01;
+  rp.n_rate = 0.0;
+  rp.rng_seed = seed + 2;
+  w.reads = simulate_reads(genome, rp);
+  for (std::size_t i = 0; i < w.reads.size(); ++i) {
+    const std::size_t len = 60 + (i % 5) * 15;  // 60..120
+    w.reads[i].seq.resize(len);
+    if (!w.reads[i].qual.empty()) w.reads[i].qual.resize(len);
+  }
+  return w;
+}
+
+mera::core::IndexConfig small_index(int k = 21) {
+  mera::core::IndexConfig ic;
+  ic.k = k;
+  ic.buffer_S = 64;
+  ic.fragment_len = 512;
+  return ic;
+}
+
+mera::core::SessionConfig batch_session(SwIsa isa, std::size_t pooling) {
+  mera::core::SessionConfig sc;
+  sc.seed_cache_capacity = 1u << 14;
+  sc.target_cache_bytes = 8u << 20;
+  sc.exact_match = false;  // force every candidate through the SW kernel
+  sc.extension.kernel = SwKernel::kBatch;
+  sc.extension.isa = isa;
+  sc.sw_pooling = pooling;
+  return sc;
+}
+
+void expect_same_stats(const mera::core::PipelineStats& a,
+                       const mera::core::PipelineStats& b,
+                       const std::string& what) {
+  EXPECT_EQ(a.reads_processed, b.reads_processed) << what;
+  EXPECT_EQ(a.reads_aligned, b.reads_aligned) << what;
+  EXPECT_EQ(a.alignments_reported, b.alignments_reported) << what;
+  EXPECT_EQ(a.seed_lookups, b.seed_lookups) << what;
+  EXPECT_EQ(a.target_fetches, b.target_fetches) << what;
+  EXPECT_EQ(a.sw_calls, b.sw_calls) << what;
+  EXPECT_EQ(a.sw_cells, b.sw_cells) << what;
+  EXPECT_EQ(a.hits_truncated, b.hits_truncated) << what;
+}
+
+std::string sam_of(const mera::core::IndexedReference& ref, Runtime& rt,
+                   mera::core::AlignSession& session,
+                   const std::vector<SeqRecord>& reads,
+                   mera::core::BatchResult& out) {
+  std::ostringstream os;
+  mera::core::SamStreamSink sam(os, ref);
+  out = session.align_batch(rt, reads, sam);
+  return os.str();
+}
+
+TEST(PooledSession, PooledEqualsPerReadOnEveryTier) {
+  const auto w = make_mixed_workload(25'000, 1.2);
+  // One reference for every comparison: the index build is SPMD over real
+  // threads, so per-seed hit-list order — and therefore candidate discovery
+  // order — is only reproducible against the SAME built index. (The repo's
+  // other cross-build comparisons sort records for exactly this reason;
+  // here the unsorted byte stream is the point.)
+  Runtime rt0(Topology(4, 2));
+  const auto ref =
+      mera::core::IndexedReference::build(rt0, w.contigs, small_index());
+  for (const SwIsa isa : supported_tiers()) {
+    // Per-read flushing (the pre-pooling behaviour) is the reference.
+    Runtime rt1(Topology(4, 2));
+    mera::core::AlignSession s1(ref, batch_session(isa, 0));
+    mera::core::BatchResult b1;
+    const std::string sam1 = sam_of(ref, rt1, s1, w.reads, b1);
+
+    // Pooled, auto threshold AND a deliberately odd explicit threshold —
+    // flush timing must never leak into the output.
+    for (const std::size_t pooling : {std::size_t{1}, std::size_t{5}}) {
+      Runtime rt2(Topology(4, 2));
+      mera::core::AlignSession s2(ref, batch_session(isa, pooling));
+      mera::core::BatchResult b2;
+      const std::string sam2 = sam_of(ref, rt2, s2, w.reads, b2);
+      const std::string what = std::string(isa_name(isa)) +
+                               " pooling=" + std::to_string(pooling);
+      EXPECT_EQ(sam1, sam2) << what;
+      expect_same_stats(b1.stats, b2.stats, what);
+    }
+  }
+}
+
+TEST(PooledSession, EmissionOrderIsPreservedNotJustTheRecordSet) {
+  // VectorSink::take() returns records in emission order; comparing the
+  // vectors UNSORTED proves the pooled replay machinery reproduces the
+  // per-read path's exact per-read / per-strand / per-candidate order.
+  const auto w = make_mixed_workload(20'000, 1.0, /*seed=*/21);
+  // Shared index: candidate discovery order is only defined relative to one
+  // concrete build (the SPMD index build makes hit-list order run-specific).
+  Runtime rt1(Topology(4, 2)), rt2(Topology(4, 2));
+  const auto ref =
+      mera::core::IndexedReference::build(rt1, w.contigs, small_index());
+  mera::core::AlignSession s1(ref, batch_session(SwIsa::kAuto, 0));
+  mera::core::AlignSession s2(ref, batch_session(SwIsa::kAuto, 1));
+  mera::core::VectorSink sink1(rt1.nranks()), sink2(rt2.nranks());
+  const auto r1 = s1.align_batch(rt1, w.reads, sink1);
+  const auto r2 = s2.align_batch(rt2, w.reads, sink2);
+  const auto v1 = sink1.take();
+  const auto v2 = sink2.take();
+  ASSERT_GT(v1.size(), 0u);
+  ASSERT_EQ(v1.size(), v2.size());
+  for (std::size_t i = 0; i < v1.size(); ++i) EXPECT_EQ(v1[i], v2[i]) << i;
+  expect_same_stats(r1.stats, r2.stats, "emission order");
+}
+
+TEST(PooledSession, PooledEqualsPerReadAcrossShardCounts) {
+  const auto w = make_mixed_workload(25'000, 1.2, /*seed=*/31);
+  for (const int shards : {1, 2, 4}) {
+    // One sharded reference per K, shared by the per-read and pooled runs:
+    // at K=1 records flow through in discovery order, which is only
+    // reproducible against the same built index.
+    Runtime rt0(Topology(4, 2));
+    mera::shard::ShardPlanOptions popt;
+    popt.shards = shards;
+    popt.k = small_index().k;
+    const auto ref = mera::shard::ShardedReference::build(
+        rt0, w.contigs, plan_shards(w.contigs, popt), small_index());
+    std::string sam_perread;
+    mera::core::PipelineStats stats_perread;
+    for (const std::size_t pooling : {std::size_t{0}, std::size_t{1}}) {
+      Runtime rt(Topology(4, 2));
+      mera::core::SessionConfig scfg = batch_session(SwIsa::kAuto, pooling);
+      scfg.max_hits_per_seed = 4096;  // exhaustive: shard-composable regime
+      mera::shard::ShardedAlignSession session(ref, scfg);
+      std::ostringstream os;
+      mera::core::SamStreamSink sam(os, ref.sam_targets(), rt.nranks());
+      const auto res = session.align_batch(rt, w.reads, sam);
+      if (pooling == 0) {
+        sam_perread = os.str();
+        stats_perread = res.stats;
+        ASSERT_FALSE(sam_perread.empty());
+      } else {
+        EXPECT_EQ(sam_perread, os.str()) << "K=" << shards;
+        expect_same_stats(stats_perread, res.stats,
+                          "K=" + std::to_string(shards));
+      }
+    }
+  }
+}
+
+TEST(PooledSession, PoolingRaisesLaneOccupancyOnSimdTiers) {
+  if (isa_lanes8(SwIsa::kAuto) <= 1)
+    GTEST_SKIP() << "scalar-only host: no lanes to fill";
+  const auto w = make_mixed_workload(25'000, 1.2, /*seed=*/41);
+  Runtime rt1(Topology(4, 2)), rt2(Topology(4, 2));
+  const auto ref =
+      mera::core::IndexedReference::build(rt1, w.contigs, small_index());
+  mera::core::AlignSession s1(ref, batch_session(SwIsa::kAuto, 0));
+  mera::core::AlignSession s2(ref, batch_session(SwIsa::kAuto, 1));
+  mera::core::CountingSink c1, c2;
+  const auto r1 = s1.align_batch(rt1, w.reads, c1);
+  const auto r2 = s2.align_batch(rt2, w.reads, c2);
+  // The per-read path must have run SIMD sweeps for the comparison to mean
+  // anything; the pooled path must then fill lanes strictly better.
+  ASSERT_GT(r1.lane_stats.groups, 0u);
+  ASSERT_GT(r2.lane_stats.groups, 0u);
+  EXPECT_GT(r2.lane_stats.mean_occupancy(), r1.lane_stats.mean_occupancy());
+}
+
+}  // namespace

@@ -4,7 +4,8 @@
 //   meraligner --targets contigs.fa --reads batch1.{fastq,sdb}
 //              [--reads batch2.fastq ...] [--out out.sam] [--k 51]
 //              [--ranks 8] [--ppn 4] [--S 1000] [--max-hits 32]
-//              [--fragment-len 1024] [--sw full|banded|striped] [--no-exact]
+//              [--fragment-len 1024] [--sw full|banded|striped|batch]
+//              [--sw-isa auto|...|help] [--sw-pool on|off|N] [--no-exact]
 //              [--no-seed-cache] [--no-target-cache] [--no-aggregation]
 //              [--no-permute] [--stats]
 //              [--shards K] [--shard-by cost|bases] [--shard-parallel J]
@@ -52,6 +53,7 @@
 // observability on or off. --quiet suppresses the informational stderr lines
 // (usage errors still print).
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -82,7 +84,8 @@ constexpr const char* kUsage =
     "           [--reads batch2.fastq ...] [--out out.sam] [--k 51]\n"
     "           [--ranks 8] [--ppn 4] [--S 1000] [--max-hits 32]\n"
     "           [--fragment-len 1024] [--sw full|banded|striped|batch]\n"
-    "           [--sw-isa auto|scalar|sse2|avx2|avx512]\n"
+    "           [--sw-isa auto|scalar|sse2|avx2|avx512|help]\n"
+    "           [--sw-pool on|off|N]\n"
     "           [--no-exact] [--no-seed-cache] [--no-target-cache]\n"
     "           [--no-aggregation] [--no-permute] [--stats]\n"
     "           [--shards K] [--shard-by cost|bases] [--shard-parallel J]\n"
@@ -107,7 +110,15 @@ constexpr const char* kUsage =
     "--sw batch screens each read's candidates in one inter-candidate SIMD\n"
     "sweep; --sw-isa (or MERA_SW_ISA in the environment) pins its dispatch\n"
     "tier — the default auto picks the widest the CPU supports. Every tier\n"
-    "emits bit-identical SAM.\n"
+    "emits bit-identical SAM. --sw-isa help (or MERA_SW_ISA=help) prints the\n"
+    "tiers this build and CPU actually support, then exits.\n"
+    "--sw-pool pools candidates ACROSS reads into query-length-class buckets\n"
+    "and flushes a bucket through the batch engine only once it can fill the\n"
+    "tier's SIMD lanes (on = default for --sw batch, auto threshold; off =\n"
+    "flush per read, the pre-pooling behaviour; N = explicit per-bucket\n"
+    "flush threshold). Pooling replays results in exact per-read order, so\n"
+    "SAM bytes and stats are identical at every setting — only lane\n"
+    "occupancy (mera_sw_lane_* metrics) and seconds change.\n"
     "--trace FILE.json records a Chrome Trace Event timeline (open in\n"
     "chrome://tracing or ui.perfetto.dev); --metrics FILE dumps the metrics\n"
     "registry as JSON (--metrics-format prom for Prometheus text). Neither\n"
@@ -135,6 +146,20 @@ mera::align::SwIsa parse_sw_isa(const std::string& name) {
         "--sw-isa " + name +
         ": tier not available (not compiled in or not supported by this CPU)");
   return *isa;
+}
+
+/// --sw-pool: cross-read candidate pooling for --sw batch. on = the auto
+/// flush threshold (the resolved tier's 8-bit lane width), off = flush per
+/// read, N >= 1 = explicit per-bucket flush threshold (1 == on).
+std::size_t parse_sw_pool(const std::string& v) {
+  if (v == "on") return 1;
+  if (v == "off") return 0;
+  char* end = nullptr;
+  const long n = std::strtol(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || n < 1)
+    throw mera::tools::UsageError("--sw-pool expects on|off|N (N >= 1), got '" +
+                                  v + "'");
+  return static_cast<std::size_t>(n);
 }
 
 mera::shard::ShardWeight parse_shard_weight(const std::string& name) {
@@ -271,18 +296,27 @@ int main(int argc, char** argv) {
   using namespace mera;
   obs::Log::set_prefix("[meraligner] ");
   const tools::Args args(argc, argv);
+  // --sw-isa help / MERA_SW_ISA=help: answer "which tiers can this build
+  // and CPU actually run" without requiring any other flag — even a bare
+  // `MERA_SW_ISA=help meraligner` — then exit.
+  const char* isa_env = std::getenv("MERA_SW_ISA");
+  if (args.get("sw-isa") == "help" ||
+      (isa_env && std::string(isa_env) == "help")) {
+    std::fputs(align::isa_support_summary().c_str(), stdout);
+    return 0;
+  }
   if (args.has("help") || argc == 1) {
     std::puts(kUsage);
     return argc == 1 ? 2 : 0;
   }
   try {
     args.check_known({"targets", "reads", "out", "k", "ranks", "ppn", "S",
-                      "max-hits", "fragment-len", "sw", "sw-isa", "no-exact",
-                      "no-seed-cache", "no-target-cache", "no-aggregation",
-                      "no-permute", "stats", "shards", "shard-by",
-                      "shard-parallel", "no-prefetch", "save-cache",
-                      "load-cache", "cache-admission", "trace", "metrics",
-                      "metrics-format", "quiet", "help"});
+                      "max-hits", "fragment-len", "sw", "sw-isa", "sw-pool",
+                      "no-exact", "no-seed-cache", "no-target-cache",
+                      "no-aggregation", "no-permute", "stats", "shards",
+                      "shard-by", "shard-parallel", "no-prefetch",
+                      "save-cache", "load-cache", "cache-admission", "trace",
+                      "metrics", "metrics-format", "quiet", "help"});
     if (args.has("quiet")) obs::Log::set_level(obs::LogLevel::kError);
     const std::string trace_path = args.get("trace");
     if (args.has("trace") && (trace_path.empty() || trace_path == "1"))
@@ -327,6 +361,13 @@ int main(int argc, char** argv) {
       if (scfg.extension.kernel != align::SwKernel::kBatch)
         throw tools::UsageError("--sw-isa requires --sw batch");
       scfg.extension.isa = parse_sw_isa(args.get("sw-isa"));
+    }
+    if (args.has("sw-pool")) {
+      // Pooling only exists inside the batch engine; elsewhere the flag
+      // would be a silent no-op.
+      if (scfg.extension.kernel != align::SwKernel::kBatch)
+        throw tools::UsageError("--sw-pool requires --sw batch");
+      scfg.sw_pooling = parse_sw_pool(args.get("sw-pool"));
     }
     scfg.cache_admission = args.has("cache-admission");
 
