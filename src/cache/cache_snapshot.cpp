@@ -106,23 +106,43 @@ void save_caches(const std::string& path, const SnapshotMeta& meta,
       throw CacheSnapshotError("cache snapshot: cannot create directory " +
                                parent.string() + ": " + ec.message());
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out)
-    throw CacheSnapshotError("cache snapshot " + path + ": cannot open for writing");
-  using snapio::put;
-  put<std::uint32_t>(out, kMagic);
-  put<std::uint32_t>(out, kVersion);
-  put_meta(out, meta);
-  std::uint32_t flags = 0;
-  if (seed) flags |= kFlagSeedSection;
-  if (target) flags |= kFlagTargetSection;
-  put<std::uint32_t>(out, flags);
-  put<std::uint64_t>(out, bytes.size());
-  put<std::uint64_t>(out, snapio::fnv1a(bytes.data(), bytes.size()));
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out)
-    throw CacheSnapshotError("cache snapshot " + path + ": write failed");
+  // Write to a sibling temp file and rename over the final path: rename(2)
+  // within one directory is atomic, so a crash or kill -9 mid-save leaves the
+  // previous good snapshot intact instead of a truncated file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw CacheSnapshotError("cache snapshot " + tmp +
+                               ": cannot open for writing");
+    using snapio::put;
+    put<std::uint32_t>(out, kMagic);
+    put<std::uint32_t>(out, kVersion);
+    put_meta(out, meta);
+    std::uint32_t flags = 0;
+    if (seed) flags |= kFlagSeedSection;
+    if (target) flags |= kFlagTargetSection;
+    put<std::uint32_t>(out, flags);
+    put<std::uint64_t>(out, bytes.size());
+    put<std::uint64_t>(out, snapio::fnv1a(bytes.data(), bytes.size()));
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      throw CacheSnapshotError("cache snapshot " + tmp + ": write failed");
+    }
+  }
+  std::error_code ec2;
+  std::filesystem::rename(tmp, path, ec2);
+  if (ec2) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw CacheSnapshotError("cache snapshot " + path +
+                             ": cannot rename temp file into place: " +
+                             ec2.message());
+  }
 }
 
 void load_caches(const std::string& path, const SnapshotMeta& expect,

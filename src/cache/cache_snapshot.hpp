@@ -73,8 +73,12 @@ struct SnapshotMeta {
 };
 
 /// Write one session's caches to `path`. Null cache pointers mean "this
-/// session runs without that cache"; the section is marked absent. Throws
-/// CacheSnapshotError when the file cannot be written.
+/// session runs without that cache"; the section is marked absent. The write
+/// is atomic: bytes go to `<path>.tmp` which is renamed over `path` only
+/// once complete, so a crash (or kill -9) mid-save leaves the previous good
+/// snapshot intact — an autosaving daemon never loses warm state to a
+/// truncated file. Throws CacheSnapshotError when the file cannot be
+/// written; the temp file is removed on failure.
 void save_caches(const std::string& path, const SnapshotMeta& meta,
                  const SeedIndexCache* seed, const TargetCache* target);
 

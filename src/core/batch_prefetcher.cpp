@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -31,6 +32,12 @@ bool looks_like_fastq(std::string_view path) {
 }
 
 std::vector<seq::SeqRecord> load_read_batch(const std::string& path) {
+  // A missing file is a caller mistake (typo'd path), not a format problem —
+  // report it as such instead of blaming the SeqDB parser.
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec)
+    throw std::runtime_error("load_read_batch: '" + path +
+                             "': no such file or directory");
   if (looks_like_fastq(path)) return seq::read_fastq(path);
   try {
     seq::SeqDBReader db(path);

@@ -122,10 +122,13 @@ PhaseReport merge_phase_samples(
   return rep;
 }
 
-void add_to_metrics(const PhaseReport& report) {
+void add_to_metrics(const PhaseReport& report,
+                    const std::vector<std::pair<std::string, std::string>>&
+                        extra_labels) {
   auto& reg = obs::MetricsRegistry::global();
   for (const PhaseEntry& p : report.phases) {
-    const obs::Labels labels{{"phase", p.name}};
+    obs::Labels labels{{"phase", p.name}};
+    labels.insert(labels.end(), extra_labels.begin(), extra_labels.end());
     double cpu = 0.0, comm = 0.0;
     for (std::size_t r = 0; r < p.cpu_s.size(); ++r) {
       cpu += p.cpu_s[r];

@@ -13,6 +13,7 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "pgas/cost_model.hpp"
@@ -80,6 +81,11 @@ struct PhaseReport {
 /// `mera_phase_cpu_seconds_total{phase=...}` and
 /// `mera_phase_comm_seconds_total{phase=...}`. Called once per batch/run by
 /// the sessions, so registry lookups stay off the per-read path.
-void add_to_metrics(const PhaseReport& report);
+/// `extra_labels` (ordered (key, value) pairs, appended after `phase`) lets
+/// a multi-tenant host split the same series per client — the daemon passes
+/// `{{"tenant", name}}` so fairness is observable per stream.
+void add_to_metrics(const PhaseReport& report,
+                    const std::vector<std::pair<std::string, std::string>>&
+                        extra_labels = {});
 
 }  // namespace mera::pgas

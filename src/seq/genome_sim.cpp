@@ -77,8 +77,19 @@ ContigTruth parse_contig_truth(std::string_view contig_name) {
       dash < colon)
     throw std::invalid_argument("parse_contig_truth: name lacks ':start-end'");
   ContigTruth t;
-  t.start = std::stoull(std::string(contig_name.substr(colon + 1, dash - colon - 1)));
-  t.end = std::stoull(std::string(contig_name.substr(dash + 1)));
+  const auto parse_field = [&](std::string_view field, const char* which) {
+    try {
+      return std::stoull(std::string(field));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("parse_contig_truth: contig '" +
+                                  std::string(contig_name) +
+                                  "' has a malformed " + which + " field '" +
+                                  std::string(field) + "'");
+    }
+  };
+  t.start =
+      parse_field(contig_name.substr(colon + 1, dash - colon - 1), "start");
+  t.end = parse_field(contig_name.substr(dash + 1), "end");
   return t;
 }
 

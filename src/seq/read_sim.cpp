@@ -117,8 +117,20 @@ ReadTruth parse_read_truth(std::string_view read_name) {
   const auto strand_at = read_name.find(";strand=");
   if (pos_at == std::string_view::npos || strand_at == std::string_view::npos)
     throw std::invalid_argument("parse_read_truth: name lacks truth fields");
-  t.pos = std::stoull(
-      std::string(read_name.substr(pos_at + 5, strand_at - pos_at - 5)));
+  const std::string pos_field(
+      read_name.substr(pos_at + 5, strand_at - pos_at - 5));
+  try {
+    t.pos = std::stoull(pos_field);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_read_truth: read '" +
+                                std::string(read_name) +
+                                "' has a malformed pos field '" + pos_field +
+                                "'");
+  }
+  if (strand_at + 8 >= read_name.size())
+    throw std::invalid_argument("parse_read_truth: read '" +
+                                std::string(read_name) +
+                                "' ends before the strand character");
   t.reverse = read_name[strand_at + 8] == '-';
   t.junk = read_name.find(";junk=1") != std::string_view::npos;
   return t;

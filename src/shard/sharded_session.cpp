@@ -149,9 +149,15 @@ void ShardedAlignSession::load_caches(const pgas::Runtime& rt,
 
 int ShardedAlignSession::effective_parallelism(int nranks) const {
   const int k = ref_.num_shards();
-  const int j = cfg_.shard_parallelism > 0
-                    ? cfg_.shard_parallelism
-                    : exec::ThreadPool::default_parallelism(k, nranks);
+  int j = cfg_.shard_parallelism > 0
+              ? cfg_.shard_parallelism
+              : exec::ThreadPool::default_parallelism(k, nranks);
+  // A shared executor caps J at its worker count: the pool's size is the
+  // process-wide budget, and asking a J-wide TaskGroup of blocking shard
+  // tasks for more workers than exist would deadlock nothing but also gain
+  // nothing.
+  if (cfg_.pool)
+    j = std::min(j, static_cast<int>(cfg_.pool->size()));
   return std::clamp(j, 1, k);
 }
 
@@ -235,11 +241,15 @@ ShardedBatchResult ShardedAlignSession::run_batch(
     // topology and cost model. Any shard failure (e.g. topology mismatch)
     // propagates after all shards settle — earliest shard wins, like the
     // serial loop.
-    if (!pool_ || pool_->size() < J)
-      pool_ = std::make_unique<exec::ThreadPool>(J);
+    exec::ThreadPool* pool = cfg_.pool;
+    if (!pool) {
+      if (!pool_ || pool_->size() < J)
+        pool_ = std::make_unique<exec::ThreadPool>(J);
+      pool = pool_.get();
+    }
     std::vector<std::unique_ptr<pgas::Runtime>> runtimes(
         static_cast<std::size_t>(nshards));
-    exec::TaskGroup group(*pool_);
+    exec::TaskGroup group(*pool);
     for (int s = 0; s < nshards; ++s) {
       auto& shard_rt = runtimes[static_cast<std::size_t>(s)];
       shard_rt =

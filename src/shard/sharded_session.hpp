@@ -72,6 +72,13 @@ struct ShardedSessionConfig {
   /// oversubscribes beyond what one runtime's rank threads already use.
   /// Output is bit-identical at every setting.
   int shard_parallelism = 0;
+  /// Optional externally owned executor. When set, the session submits its
+  /// shard work here instead of creating a private pool, and J is clamped to
+  /// the pool's size — this is how a process hosting many sessions (the
+  /// alignment daemon) makes J a single process-wide budget rather than a
+  /// per-session one. The pool must outlive the session; null keeps the
+  /// lazy private-pool behaviour.
+  exec::ThreadPool* pool = nullptr;
 };
 
 /// Outcome of one sharded align_batch() call.

@@ -521,6 +521,51 @@ if(NOT metrics_prom MATCHES "# TYPE mera_reads_processed_total counter")
 endif()
 check_sam(${WORKDIR}/out_observed_prom.sam "single batch with --metrics")
 
+# Unwritable sidecar targets are runtime failures (exit 1) that NAME the
+# file, not silent successes: an unflushed/failed ofstream used to vanish
+# into the exit path. A path under a regular file fails on open; /dev/full
+# (where present) fails at flush — the later, sneakier variant.
+file(WRITE ${WORKDIR}/not_a_dir "just a file\n")
+foreach(flag trace metrics)
+  execute_process(
+    COMMAND ${CLI}
+      --targets ${WORKDIR}/contigs.fa
+      --reads ${WORKDIR}/reads.fastq
+      --out ${WORKDIR}/out_badsidecar_${flag}.sam
+      --k 31 --ranks 4 --ppn 2 --no-permute
+      --${flag} ${WORKDIR}/not_a_dir/${flag}.json
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+      "--${flag} to an unwritable path exited ${rc}, expected 1:\n${err}")
+  endif()
+  if(NOT err MATCHES "not_a_dir/${flag}.json")
+    message(FATAL_ERROR
+      "--${flag} failure did not name the unwritable file:\n${err}")
+  endif()
+endforeach()
+if(EXISTS /dev/full)
+  execute_process(
+    COMMAND ${CLI}
+      --targets ${WORKDIR}/contigs.fa
+      --reads ${WORKDIR}/reads.fastq
+      --out ${WORKDIR}/out_devfull.sam
+      --k 31 --ranks 4 --ppn 2 --no-permute
+      --metrics /dev/full
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+      "--metrics /dev/full exited ${rc}, expected 1 (flush must be checked):\n${err}")
+  endif()
+  if(NOT err MATCHES "/dev/full")
+    message(FATAL_ERROR "--metrics /dev/full failure did not name the file:\n${err}")
+  endif()
+endif()
+
 # --quiet: same golden bytes, no informational stderr (errors still print).
 execute_process(
   COMMAND ${CLI}

@@ -432,6 +432,33 @@ TEST(BatchPrefetch, SeqdbFallbackErrorNamesPathAndFormatGuess) {
   std::remove(bogus.c_str());
 }
 
+TEST(BatchPrefetch, MissingFileIsReportedAsMissingNotAsSeqdbFailure) {
+  // A nonexistent path used to fall through to the SeqDB reader and surface
+  // as a bogus format error; it must say "no such file" and name the path.
+  for (const char* missing :
+       {"test_async_no_such_file.sdb", "test_async_no_such_file.fastq"}) {
+    try {
+      (void)core::load_read_batch(missing);
+      FAIL() << "expected load_read_batch to throw for '" << missing << "'";
+    } catch (const std::exception& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find(missing), std::string::npos) << msg;
+      EXPECT_NE(msg.find("no such file"), std::string::npos) << msg;
+      EXPECT_EQ(msg.find("SeqDB"), std::string::npos)
+          << "a missing file is not a format error: " << msg;
+    }
+  }
+}
+
+TEST(BatchPrefetch, ExistingFilesStillLoadAfterTheMissingFileCheck) {
+  const auto w = make_workload(8'000, 0.3, /*seed=*/63);
+  const std::string fastq = "test_async_exists_check.fastq";
+  seq::write_fastq(fastq, std::vector<SeqRecord>(w.reads.begin(),
+                                                 w.reads.end()));
+  EXPECT_EQ(core::load_read_batch(fastq).size(), w.reads.size());
+  std::remove(fastq.c_str());
+}
+
 TEST(BatchPrefetch, LoadErrorsSurfaceOnTheCallingThread) {
   exec::ThreadPool pool(1);
   core::BatchPrefetcher prefetcher(pool, {"test_async_does_not_exist.sdb"});

@@ -17,9 +17,12 @@
 //                      (the load_caches re-seeding decision, pinned).
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -457,6 +460,117 @@ TEST_F(CacheSnapshotFileTest, SectionsLoadIndependentlyOfDisabledCaches) {
   load_caches(path("snap.mcache"), test_meta(), &s2, nullptr);
   EXPECT_EQ(s2.counters(), seed.counters());
   EXPECT_EQ(s2.entries(), seed.entries());
+}
+
+// ---------------------------------------------------------------------------
+// 2b. Atomic save: a crash mid-save never damages the previous snapshot
+// ---------------------------------------------------------------------------
+
+using AtomicSaveTest = CachePersistTest;
+
+std::string file_bytes(const std::string& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST_F(AtomicSaveTest, SaveLeavesNoTempFileBehind) {
+  const Topology topo(8, 4);
+  SeedIndexCache seed(topo, {.capacity_per_node = 64});
+  TargetCache target(topo, {.capacity_bytes_per_node = 1u << 16});
+  fill_seed_cache_randomly(seed, topo.nnodes(), 21);
+  save_caches(path("snap.mcache"), test_meta(), &seed, &target);
+  EXPECT_TRUE(std::filesystem::exists(path("snap.mcache")));
+  EXPECT_FALSE(std::filesystem::exists(path("snap.mcache.tmp")));
+}
+
+TEST_F(AtomicSaveTest, FailedSaveKeepsThePreviousSnapshotIntact) {
+  const Topology topo(8, 4);
+  SeedIndexCache seed(topo, {.capacity_per_node = 64});
+  TargetCache target(topo, {.capacity_bytes_per_node = 1u << 16});
+  fill_seed_cache_randomly(seed, topo.nnodes(), 22);
+  fill_target_cache_randomly(target, topo.nnodes(), 23);
+  save_caches(path("snap.mcache"), test_meta(), &seed, &target);
+  const std::string good = file_bytes(path("snap.mcache"));
+
+  // Make the NEXT save fail at its very first step by squatting a directory
+  // on the temp path. Pre-fix, save opened the final path with trunc and a
+  // failure at any later point left a damaged snapshot; now the final file
+  // must never even be opened.
+  std::filesystem::create_directory(path("snap.mcache.tmp"));
+  fill_seed_cache_randomly(seed, topo.nnodes(), 24);  // new state to save
+  EXPECT_THROW(save_caches(path("snap.mcache"), test_meta(), &seed, &target),
+               CacheSnapshotError);
+  std::filesystem::remove(path("snap.mcache.tmp"));
+
+  EXPECT_EQ(file_bytes(path("snap.mcache")), good)
+      << "a failed save must not touch the existing snapshot";
+  SeedIndexCache s2(topo, {.capacity_per_node = 64});
+  TargetCache t2(topo, {.capacity_bytes_per_node = 1u << 16});
+  EXPECT_NO_THROW(
+      load_caches(path("snap.mcache"), test_meta(), &s2, &t2));
+}
+
+TEST_F(AtomicSaveTest, StaleTempFileFromACrashIsIgnoredAndReplaced) {
+  const Topology topo(8, 4);
+  SeedIndexCache seed(topo, {.capacity_per_node = 64});
+  TargetCache target(topo, {.capacity_bytes_per_node = 1u << 16});
+  fill_seed_cache_randomly(seed, topo.nnodes(), 25);
+  save_caches(path("snap.mcache"), test_meta(), &seed, &target);
+
+  // What a kill -9 mid-write leaves behind: a truncated temp file. It must
+  // neither break loading nor survive the next successful save.
+  {
+    std::ofstream out(path("snap.mcache.tmp"), std::ios::binary);
+    out << "half a snapsh";
+  }
+  SeedIndexCache s2(topo, {.capacity_per_node = 64});
+  TargetCache t2(topo, {.capacity_bytes_per_node = 1u << 16});
+  EXPECT_NO_THROW(
+      load_caches(path("snap.mcache"), test_meta(), &s2, &t2));
+  save_caches(path("snap.mcache"), test_meta(), &seed, &target);
+  EXPECT_FALSE(std::filesystem::exists(path("snap.mcache.tmp")));
+  EXPECT_NO_THROW(
+      load_caches(path("snap.mcache"), test_meta(), &s2, &t2));
+}
+
+TEST_F(AtomicSaveTest, KillNineDuringSaveLeavesALoadableSnapshot) {
+  const Topology topo(8, 4);
+  SeedIndexCache seed(topo, {.capacity_per_node = 256});
+  TargetCache target(topo, {.capacity_bytes_per_node = 1u << 20});
+  fill_seed_cache_randomly(seed, topo.nnodes(), 26);
+  fill_target_cache_randomly(target, topo.nnodes(), 27);
+  save_caches(path("snap.mcache"), test_meta(), &seed, &target);
+
+  // A child process re-saves the snapshot in a tight loop; the parent
+  // SIGKILLs it at an arbitrary point. Whatever instant the kill lands —
+  // mid-payload-write, between write and rename — the visible file must be
+  // either the old or the new COMPLETE snapshot, because the payload only
+  // ever reaches the final path via rename(2).
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    for (;;) {
+      try {
+        save_caches(path("snap.mcache"), test_meta(), &seed, &target);
+      } catch (...) {
+        _exit(1);
+      }
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  SeedIndexCache s2(topo, {.capacity_per_node = 256});
+  TargetCache t2(topo, {.capacity_bytes_per_node = 1u << 20});
+  EXPECT_NO_THROW(load_caches(path("snap.mcache"), test_meta(), &s2, &t2))
+      << "kill -9 during save_caches corrupted the snapshot";
+  EXPECT_EQ(s2.entries(), seed.entries());
+  EXPECT_EQ(t2.entries(), target.entries());
 }
 
 // ---------------------------------------------------------------------------

@@ -219,4 +219,55 @@ TEST(ReadSim, RejectsDegenerateInputs) {
   EXPECT_THROW(simulate_reads("ACGTACGT", zero), std::invalid_argument);
 }
 
+// Malformed truth encodings must be refused with the offending record named,
+// not read out of bounds. `r0;pos=7;strand=` is the regression case: the
+// name ends exactly where the strand character should be, and the parser
+// used to index one past the end of the string.
+TEST(ReadSim, TruthParserRejectsTruncatedStrandField) {
+  try {
+    (void)parse_read_truth("r0;pos=7;strand=");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("r0;pos=7;strand="),
+              std::string::npos)
+        << "error must name the offending read: " << e.what();
+  }
+}
+
+TEST(ReadSim, TruthParserRejectsMalformedPosField) {
+  for (const char* name :
+       {"r1;pos=;strand=+", "r1;pos=xyz;strand=-",
+        "r1;pos=99999999999999999999999999;strand=+"}) {
+    try {
+      (void)parse_read_truth(name);
+      FAIL() << "expected std::invalid_argument for '" << name << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(name), std::string::npos)
+          << "error must name the offending read: " << e.what();
+    }
+  }
+  // The well-formed shape still parses.
+  const ReadTruth t = parse_read_truth("r2;pos=42;strand=-;junk=1");
+  EXPECT_EQ(t.pos, 42u);
+  EXPECT_TRUE(t.reverse);
+  EXPECT_TRUE(t.junk);
+}
+
+TEST(ContigSim, TruthParserRejectsMalformedCoordinates) {
+  for (const char* name :
+       {"contig0:-", "contig1:abc-9", "contig2:5-def",
+        "contig3:99999999999999999999999999-5"}) {
+    try {
+      (void)parse_contig_truth(name);
+      FAIL() << "expected std::invalid_argument for '" << name << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(name), std::string::npos)
+          << "error must name the offending contig: " << e.what();
+    }
+  }
+  const ContigTruth t = parse_contig_truth("contig4:10-25");
+  EXPECT_EQ(t.start, 10u);
+  EXPECT_EQ(t.end, 25u);
+}
+
 }  // namespace

@@ -272,6 +272,12 @@ void write_observability_files(const std::string& trace_path,
     if (!f)
       throw std::runtime_error("--trace: cannot write '" + trace_path + "'");
     obs::Tracer::global().write_chrome_trace(f);
+    // A full disk fails the write, not the open — check after flushing, or
+    // "trace written" would report success over a truncated file.
+    f.flush();
+    if (!f)
+      throw std::runtime_error("--trace: write to '" + trace_path +
+                               "' failed (disk full?)");
     obs::Log::info(
         "trace written to %s (open in chrome://tracing or ui.perfetto.dev)",
         trace_path.c_str());
@@ -285,6 +291,10 @@ void write_observability_files(const std::string& trace_path,
       obs::MetricsRegistry::global().write_prometheus(f);
     else
       obs::MetricsRegistry::global().write_json(f);
+    f.flush();
+    if (!f)
+      throw std::runtime_error("--metrics: write to '" + metrics_path +
+                               "' failed (disk full?)");
     obs::Log::info("metrics written to %s (%s)", metrics_path.c_str(),
                    metrics_format.c_str());
   }

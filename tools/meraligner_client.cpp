@@ -1,0 +1,178 @@
+// meraligner_client — reference client for the meralignerd daemon.
+//
+// Usage:
+//   meraligner_client --socket /run/mera.sock --tenant NAME
+//                     [--reads batch1.fastq [--reads batch2.sdb ...]]
+//                     [--out out.sam] [--metrics FILE] [--stats FILE]
+//                     [--quiet]
+//
+// Connects to the daemon, introduces itself as --tenant, sends every
+// --reads file as one Batch frame (file bytes verbatim — FASTQ text or a
+// SeqDB file; the daemon sniffs which), and appends each reply's SAM bytes
+// to --out (default: stdout). The daemon puts the SAM header in the first
+// reply of a connection, so --out ends up byte-identical to a one-shot
+// meraligner run over the same batches (modulo the @PG CL field, which
+// records each program's own invocation).
+//
+// --metrics FILE scrapes the daemon's Prometheus metrics endpoint into FILE
+// ('-' = stdout); --stats FILE fetches the per-tenant accounting JSON. Both
+// work with or without --reads, so a metrics scraper is just
+// `meraligner_client --socket S --tenant prom --metrics -`.
+//
+// An Error frame from the daemon is printed to stderr and exits 1 after the
+// remaining replies are drained.
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli_util.hpp"
+#include "serve/framing.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "meraligner_client --socket /run/mera.sock --tenant NAME\n"
+    "                  [--reads batch1.fastq [--reads batch2.sdb ...]]\n"
+    "                  [--out out.sam] [--metrics FILE] [--stats FILE]\n"
+    "                  [--quiet]\n"
+    "\n"
+    "Sends each --reads file to the daemon as one batch and appends the\n"
+    "replied SAM bytes to --out (default stdout) - the concatenation is the\n"
+    "same file a one-shot meraligner run would write (modulo @PG CL).\n"
+    "--metrics FILE scrapes the daemon's Prometheus endpoint ('-' =\n"
+    "stdout); --stats FILE fetches per-tenant accounting JSON.";
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f)
+    throw std::runtime_error("cannot open reads file '" + path + "'");
+  std::ostringstream os;
+  os << f.rdbuf();
+  if (!f && !f.eof())
+    throw std::runtime_error("failed reading '" + path + "'");
+  return os.str();
+}
+
+void spill(const std::string& path, const std::string& bytes,
+           const char* what) {
+  if (path == "-") {
+    std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+    return;
+  }
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  f.flush();
+  if (!f)
+    throw std::runtime_error(std::string(what) + ": cannot write '" + path +
+                             "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mera;
+  const tools::Args args(argc, argv);
+  if (args.has("help") || argc == 1) {
+    std::puts(kUsage);
+    return argc == 1 ? 2 : 0;
+  }
+  int fd = -1;
+  try {
+    args.check_known(
+        {"socket", "tenant", "reads", "out", "metrics", "stats", "quiet",
+         "help"});
+    const std::string socket_path = args.get("socket");
+    if (socket_path.empty() || socket_path == "1")
+      throw tools::UsageError("missing required flag --socket PATH");
+    const std::string tenant = args.get("tenant");
+    if (tenant.empty() || tenant == "1")
+      throw tools::UsageError("missing required flag --tenant NAME");
+    const std::vector<std::string> reads = args.get_all("reads");
+    const std::string out = args.get("out", "-");
+    const std::string metrics = args.get("metrics");
+    const std::string stats = args.get("stats");
+    const bool quiet = args.has("quiet");
+
+    fd = serve::connect_unix(socket_path);
+    serve::write_frame(fd, serve::FrameType::kHello, tenant);
+
+    std::ofstream out_file;
+    std::ostream* sam_os = &std::cout;
+    if (out != "-") {
+      out_file.open(out, std::ios::binary | std::ios::trunc);
+      if (!out_file)
+        throw std::runtime_error("--out: cannot write '" + out + "'");
+      sam_os = &out_file;
+    }
+
+    bool failed = false;
+    const auto expect_reply = [&](const char* asked) -> serve::Frame {
+      for (;;) {
+        auto f = serve::read_frame(fd);
+        if (!f)
+          throw std::runtime_error(std::string("daemon closed while waiting "
+                                               "for ") +
+                                   asked);
+        if (f->type == serve::FrameType::kError) {
+          std::fprintf(stderr, "meraligner_client: daemon error: %s\n",
+                       f->payload.c_str());
+          failed = true;
+          continue;  // the stream survives an Error frame; keep draining
+        }
+        return *f;
+      }
+    };
+
+    for (const std::string& path : reads) {
+      serve::write_frame(fd, serve::FrameType::kBatch, slurp(path));
+      const serve::Frame reply = expect_reply("a SAM reply");
+      if (reply.type != serve::FrameType::kSam)
+        throw std::runtime_error("unexpected reply frame type " +
+                                 std::to_string(static_cast<unsigned>(
+                                     reply.type)));
+      sam_os->write(reply.payload.data(),
+                    static_cast<std::streamsize>(reply.payload.size()));
+      if (!*sam_os)
+        throw std::runtime_error("--out: write to '" + out + "' failed");
+      if (!quiet)
+        std::fprintf(stderr, "[meraligner_client] %s: %zu SAM bytes\n",
+                     path.c_str(), reply.payload.size());
+    }
+    sam_os->flush();
+    if (!*sam_os)
+      throw std::runtime_error("--out: write to '" + out + "' failed");
+
+    if (!metrics.empty() && metrics != "1") {
+      serve::write_frame(fd, serve::FrameType::kMetricsReq, {});
+      const serve::Frame reply = expect_reply("the metrics scrape");
+      if (reply.type != serve::FrameType::kMetrics)
+        throw std::runtime_error("unexpected reply to MetricsReq");
+      spill(metrics, reply.payload, "--metrics");
+    }
+    if (!stats.empty() && stats != "1") {
+      serve::write_frame(fd, serve::FrameType::kStatsReq, {});
+      const serve::Frame reply = expect_reply("the stats reply");
+      if (reply.type != serve::FrameType::kStats)
+        throw std::runtime_error("unexpected reply to StatsReq");
+      spill(stats, reply.payload, "--stats");
+    }
+
+    serve::write_frame(fd, serve::FrameType::kGoodbye, {});
+    ::close(fd);
+    return failed ? 1 : 0;
+  } catch (const tools::UsageError& e) {
+    if (fd >= 0) ::close(fd);
+    std::fprintf(stderr, "meraligner_client: error: %s\n\n%s\n", e.what(),
+                 kUsage);
+    return 2;
+  } catch (const std::exception& e) {
+    if (fd >= 0) ::close(fd);
+    std::fprintf(stderr, "meraligner_client: error: %s\n", e.what());
+    return 1;
+  }
+}

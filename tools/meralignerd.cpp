@@ -1,0 +1,305 @@
+// meralignerd — the always-on multi-tenant alignment daemon.
+//
+// Usage:
+//   meralignerd --targets contigs.fa --socket /run/mera.sock
+//               [--k 51] [--ranks 8] [--ppn 4] [--S 1000] [--max-hits 32]
+//               [--fragment-len 1024] [--sw full|banded|striped|batch]
+//               [--sw-isa auto|...] [--sw-pool on|off|N] [--no-exact]
+//               [--no-seed-cache] [--no-target-cache] [--no-aggregation]
+//               [--no-permute] [--cache-admission]
+//               [--shards K] [--shard-by cost|bases] [--shard-parallel J]
+//               [--cache-dir DIR] [--load-cache] [--autosave SECS]
+//               [--max-frame-bytes N] [--quiet]
+//
+// The index over --targets is built (or --load-cache warm-started) ONCE;
+// the daemon then serves any number of concurrent client connections over
+// the UNIX-domain socket, each one tenant's stream of FASTQ/SeqDB batches
+// answered with SAM bytes (see src/serve/framing.hpp for the protocol and
+// tools/meraligner_client.cpp for a reference client). All tenants share
+// one warm cache pool (--cache-admission arbitrates residency) and — when
+// sharded — ONE process-wide shard executor: --shard-parallel J is a global
+// budget for the whole daemon, not a per-connection knob.
+//
+// Persistence: --cache-dir DIR snapshots the caches there on shutdown and,
+// with --autosave SECS, periodically while serving; --load-cache warm-starts
+// from the same directory at boot. Snapshots land atomically (tmp + rename),
+// so even kill -9 mid-save leaves the previous good snapshot intact.
+//
+// Shutdown: SIGINT/SIGTERM drain gracefully — stop accepting, finish and
+// flush in-flight batches, save caches, remove the socket. SIGPIPE is
+// ignored; a vanished client only kills its own connection.
+//
+// Metrics: any client can send a MetricsReq frame and receive the process
+// MetricsRegistry in Prometheus text format (meraligner_client --metrics -),
+// including the per-tenant (`tenant=`) cache/SW/phase/serve series.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/cache_snapshot.hpp"
+#include "cli_util.hpp"
+#include "core/align_session.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/log.hpp"
+#include "seq/fasta.hpp"
+#include "serve/backend.hpp"
+#include "serve/daemon.hpp"
+#include "shard/sharded_reference.hpp"
+#include "shard/sharded_session.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "meralignerd --targets contigs.fa --socket /run/mera.sock\n"
+    "            [--k 51] [--ranks 8] [--ppn 4] [--S 1000] [--max-hits 32]\n"
+    "            [--fragment-len 1024] [--sw full|banded|striped|batch]\n"
+    "            [--sw-isa auto|scalar|sse2|avx2|avx512] [--sw-pool on|off|N]\n"
+    "            [--no-exact] [--no-seed-cache] [--no-target-cache]\n"
+    "            [--no-aggregation] [--no-permute] [--cache-admission]\n"
+    "            [--shards K] [--shard-by cost|bases] [--shard-parallel J]\n"
+    "            [--cache-dir DIR] [--load-cache] [--autosave SECS]\n"
+    "            [--max-frame-bytes N] [--quiet]\n"
+    "\n"
+    "Builds (or --load-cache warm-starts) the index ONCE, then serves many\n"
+    "concurrent tenant query streams over the UNIX-domain socket: length-\n"
+    "prefixed frames, FASTQ/SeqDB batch in, SAM bytes out (protocol in\n"
+    "src/serve/framing.hpp; reference client: meraligner_client). Tenants\n"
+    "share one warm cache pool and one process-wide shard executor\n"
+    "(--shard-parallel J is a global budget). --cache-dir DIR saves cache\n"
+    "snapshots there on shutdown (and every --autosave SECS while serving,\n"
+    "atomically - a crash never loses the last good snapshot); --load-cache\n"
+    "warm-starts from that directory. SIGINT/SIGTERM drain gracefully.\n"
+    "Clients can scrape the Prometheus metrics (incl. tenant= series) with\n"
+    "a MetricsReq frame: meraligner_client --socket S --metrics -.";
+
+mera::align::SwKernel parse_kernel(const std::string& name) {
+  using mera::align::SwKernel;
+  if (name == "full") return SwKernel::kFullDP;
+  if (name == "banded") return SwKernel::kBanded;
+  if (name == "striped") return SwKernel::kStriped;
+  if (name == "batch") return SwKernel::kBatch;
+  throw mera::tools::UsageError(
+      "--sw expects full|banded|striped|batch, got '" + name + "'");
+}
+
+mera::align::SwIsa parse_sw_isa(const std::string& name) {
+  const auto isa = mera::align::parse_isa(name);
+  if (!isa)
+    throw mera::tools::UsageError(
+        "--sw-isa expects auto|scalar|sse2|avx2|avx512, got '" + name + "'");
+  if (!mera::align::isa_supported(*isa))
+    throw mera::tools::UsageError(
+        "--sw-isa " + name +
+        ": tier not available (not compiled in or not supported by this CPU)");
+  return *isa;
+}
+
+std::size_t parse_sw_pool(const std::string& v) {
+  if (v == "on") return 1;
+  if (v == "off") return 0;
+  char* end = nullptr;
+  const long n = std::strtol(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || n < 1)
+    throw mera::tools::UsageError("--sw-pool expects on|off|N (N >= 1), got '" +
+                                  v + "'");
+  return static_cast<std::size_t>(n);
+}
+
+mera::shard::ShardWeight parse_shard_weight(const std::string& name) {
+  using mera::shard::ShardWeight;
+  if (name == "cost") return ShardWeight::kCostModel;
+  if (name == "bases") return ShardWeight::kBases;
+  throw mera::tools::UsageError("--shard-by expects cost|bases, got '" + name +
+                                "'");
+}
+
+std::string command_line_of(int argc, char** argv) {
+  std::string cl;
+  for (int i = 0; i < argc; ++i) {
+    if (i) cl += ' ';
+    cl += argv[i];
+  }
+  return cl;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mera;
+  obs::Log::set_prefix("[meralignerd] ");
+  const tools::Args args(argc, argv);
+  if (args.has("help") || argc == 1) {
+    std::puts(kUsage);
+    return argc == 1 ? 2 : 0;
+  }
+  try {
+    args.check_known({"targets", "socket", "k", "ranks", "ppn", "S",
+                      "max-hits", "fragment-len", "sw", "sw-isa", "sw-pool",
+                      "no-exact", "no-seed-cache", "no-target-cache",
+                      "no-aggregation", "no-permute", "cache-admission",
+                      "shards", "shard-by", "shard-parallel", "cache-dir",
+                      "load-cache", "autosave", "max-frame-bytes", "quiet",
+                      "help"});
+    if (args.has("quiet")) obs::Log::set_level(obs::LogLevel::kError);
+    const std::vector<std::string> target_files = args.get_all("targets");
+    if (target_files.empty())
+      throw tools::UsageError("missing required flag --targets");
+    const std::string socket_path = args.get("socket");
+    if (socket_path.empty() || socket_path == "1")
+      throw tools::UsageError("missing required flag --socket PATH");
+
+    core::IndexConfig icfg;
+    icfg.k = static_cast<int>(args.get_int("k", 51));
+    icfg.buffer_S = static_cast<std::size_t>(args.get_int("S", 1000));
+    icfg.fragment_len =
+        static_cast<std::size_t>(args.get_int("fragment-len", 1024));
+    icfg.exact_match = !args.has("no-exact");
+    icfg.aggregating_stores = !args.has("no-aggregation");
+
+    core::SessionConfig scfg;
+    scfg.max_hits_per_seed =
+        static_cast<std::size_t>(args.get_int("max-hits", 32));
+    scfg.exact_match = icfg.exact_match;
+    scfg.seed_cache = !args.has("no-seed-cache");
+    scfg.target_cache = !args.has("no-target-cache");
+    scfg.permute_queries = !args.has("no-permute");
+    scfg.extension.kernel = parse_kernel(args.get("sw", "full"));
+    if (args.has("sw-isa")) {
+      if (scfg.extension.kernel != align::SwKernel::kBatch)
+        throw tools::UsageError("--sw-isa requires --sw batch");
+      scfg.extension.isa = parse_sw_isa(args.get("sw-isa"));
+    }
+    if (args.has("sw-pool")) {
+      if (scfg.extension.kernel != align::SwKernel::kBatch)
+        throw tools::UsageError("--sw-pool requires --sw batch");
+      scfg.sw_pooling = parse_sw_pool(args.get("sw-pool"));
+    }
+    scfg.cache_admission = args.has("cache-admission");
+
+    serve::DaemonConfig dcfg;
+    dcfg.socket_path = socket_path;
+    dcfg.cache_dir = args.get("cache-dir");
+    if (args.has("cache-dir") && dcfg.cache_dir.empty())
+      throw tools::UsageError("--cache-dir expects a directory");
+    if (args.has("autosave")) {
+      if (dcfg.cache_dir.empty())
+        throw tools::UsageError("--autosave requires --cache-dir");
+      const long s = args.get_int("autosave", 0);
+      if (s < 1)
+        throw tools::UsageError("--autosave expects seconds >= 1");
+      dcfg.autosave_interval_s = static_cast<double>(s);
+    }
+    if (args.has("max-frame-bytes")) {
+      const long n = args.get_int("max-frame-bytes", 0);
+      if (n < 1024)
+        throw tools::UsageError("--max-frame-bytes must be >= 1024");
+      dcfg.max_frame_bytes = static_cast<std::uint64_t>(n);
+    }
+    const bool load_cache = args.has("load-cache");
+    if (load_cache && dcfg.cache_dir.empty())
+      throw tools::UsageError("--load-cache requires --cache-dir");
+    if (load_cache && !std::filesystem::is_directory(dcfg.cache_dir))
+      throw tools::UsageError("--load-cache: " + dcfg.cache_dir +
+                              " is not a directory");
+
+    const int nranks = static_cast<int>(args.get_int("ranks", 8));
+    const int ppn = static_cast<int>(args.get_int("ppn", 4));
+    const pgas::Topology topo(nranks, ppn);
+    pgas::Runtime build_rt(topo);
+
+    dcfg.program.name = "meralignerd";
+    dcfg.program.command_line = command_line_of(argc, argv);
+
+    const long shards_flag = args.get_int("shards", 0);
+    if (args.has("shards") && shards_flag < 1)
+      throw tools::UsageError("--shards must be >= 1");
+    if (target_files.size() > 1 && shards_flag != 0 &&
+        shards_flag != static_cast<long>(target_files.size()))
+      throw tools::UsageError(
+          "--shards conflicts with repeated --targets (one shard per file)");
+    const bool sharded = target_files.size() > 1 || shards_flag > 1;
+    if (args.has("shard-by") && (target_files.size() > 1 || shards_flag < 2))
+      throw tools::UsageError(
+          "--shard-by requires --shards K (K >= 2) with a single --targets "
+          "collection");
+    int shard_parallel = 0;
+    if (args.has("shard-parallel")) {
+      if (!sharded)
+        throw tools::UsageError(
+            "--shard-parallel requires a sharded reference (--shards K or "
+            "repeated --targets)");
+      const long j = args.get_int("shard-parallel", 0);
+      if (j < 1)
+        throw tools::UsageError("--shard-parallel must be >= 1, got " +
+                                args.get("shard-parallel"));
+      shard_parallel = static_cast<int>(j);
+    }
+
+    // ---- build the warm engine once ----------------------------------------
+    // The shard executor (when any) is created HERE, sized once, and handed
+    // to the session: every tenant's batches share this one pool — J is a
+    // process-wide budget, however many clients connect.
+    std::optional<exec::ThreadPool> pool;
+    std::optional<serve::Backend> backend;
+    if (!sharded) {
+      auto ref =
+          core::IndexedReference::build_from_fasta(build_rt, target_files[0],
+                                                   icfg);
+      obs::Log::info("index built: %zu entries, %.3f simulated s",
+                     ref.index_entries(), ref.build_report().total_time_s());
+      backend.emplace(std::move(ref), scfg);
+    } else {
+      std::optional<shard::ShardedReference> ref;
+      if (target_files.size() > 1) {
+        ref = shard::ShardedReference::build_from_fastas(build_rt,
+                                                         target_files, icfg);
+      } else {
+        shard::ShardPlanOptions popt;
+        popt.shards = static_cast<int>(shards_flag);
+        popt.weight = parse_shard_weight(args.get("shard-by", "cost"));
+        popt.k = icfg.k;
+        const auto targets = seq::read_fasta(target_files[0]);
+        ref = shard::ShardedReference::build(
+            build_rt, targets, shard::plan_shards(targets, popt), icfg);
+      }
+      obs::Log::info("sharded index built: %d shards, %u targets, %zu entries",
+                     ref->num_shards(), ref->num_targets(),
+                     ref->index_entries());
+      shard::ShardedSessionConfig sscfg{scfg, shard_parallel, nullptr};
+      const int J = shard_parallel > 0
+                        ? shard_parallel
+                        : exec::ThreadPool::default_parallelism(
+                              ref->num_shards(), nranks);
+      if (J > 1) {
+        pool.emplace(J);
+        sscfg.pool = &*pool;
+        obs::Log::info("global shard executor: %d workers (process-wide)", J);
+      }
+      backend.emplace(std::move(*ref), sscfg);
+    }
+    if (load_cache) {
+      try {
+        backend->load_caches(build_rt, dcfg.cache_dir);
+        obs::Log::info("warm caches loaded from %s", dcfg.cache_dir.c_str());
+      } catch (const mera::cache::CacheSnapshotError& e) {
+        throw tools::UsageError("--load-cache " + dcfg.cache_dir + ": " +
+                                e.what());
+      }
+    }
+
+    serve::Daemon daemon(std::move(*backend), topo, dcfg);
+    serve::Daemon::install_signal_handlers(daemon);
+    daemon.start();
+    daemon.wait();
+    return 0;
+  } catch (const tools::UsageError& e) {
+    std::fprintf(stderr, "meralignerd: error: %s\n\n%s\n", e.what(), kUsage);
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "meralignerd: error: %s\n", e.what());
+    return 1;
+  }
+}
